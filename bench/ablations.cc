@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Ablation studies for the design choices DESIGN.md calls out:
+ *
+ *  1. scale-up-first vs scale-out-first greedy sizing (paper Sec. 3.3
+ *     notes the heuristic is replaceable),
+ *  2. the misclassification feedback loop on/off (Sec. 3.2),
+ *  3. proactive phase detection on/off (Sec. 4.1),
+ *  4. interference awareness on/off in the scheduler (the Paragon
+ *     heritage).
+ *
+ * Each ablation runs a compact mixed scenario on the local cluster and
+ * reports target attainment and utilization.
+ */
+
+#include <cmath>
+
+#include "bench/common.hh"
+#include "core/manager.hh"
+#include "driver/scenario.hh"
+
+using namespace quasar;
+using workload::Workload;
+
+namespace
+{
+
+constexpr double kHorizon = 12000.0;
+
+struct Outcome
+{
+    double mean_norm = 0.0;   ///< mean perf normalized to target.
+    double frac_on_target = 0.0;
+    double mean_util = 0.0;
+    size_t adjustments = 0;
+};
+
+Outcome
+runScenario(core::QuasarConfig cfg, uint64_t seed,
+            bool with_phase_changes)
+{
+    sim::Cluster cluster = sim::Cluster::localCluster();
+    workload::WorkloadRegistry registry;
+    core::QuasarManager mgr(cluster, registry, cfg);
+    workload::WorkloadFactory seeder{stats::Rng(777)};
+    mgr.seedOffline(bench::standardSeeds(seeder, 4), 0.0);
+    driver::ScenarioDriver drv(cluster, registry, mgr,
+                               driver::DriverConfig{.tick_s = 10.0,
+                                                    .record_every = 3});
+    workload::WorkloadFactory factory{stats::Rng(seed)};
+    std::vector<WorkloadId> primary;
+    for (int i = 0; i < 10; ++i) {
+        Workload j = factory.hadoopJob("j" + std::to_string(i),
+                                       factory.rng().uniform(5, 50));
+        j.total_work *= 3.0;
+        j.target = workload::PerformanceTarget::completionTime(
+            1.2 * bench::sweepBestCompletion(j, cluster.catalog(), 4,
+                                             8),
+            j.total_work);
+        if (with_phase_changes && i % 2 == 0)
+            factory.addPhaseChange(j, 600.0 + 200.0 * i);
+        WorkloadId id = registry.add(j);
+        primary.push_back(id);
+        drv.addArrival(id, 20.0 * (i + 1));
+    }
+    for (int i = 0; i < 3; ++i) {
+        double q = factory.rng().uniform(5e4, 1.5e5);
+        Workload mc = factory.memcachedService(
+            "m" + std::to_string(i), q, 2e-4, 40.0,
+            std::make_shared<tracegen::FluctuatingLoad>(0.7 * q,
+                                                        0.3 * q,
+                                                        4000.0));
+        WorkloadId id = registry.add(mc);
+        primary.push_back(id);
+        drv.addArrival(id, 10.0 * (i + 1));
+    }
+    for (double t = 4.0; t < kHorizon * 0.6; t += 8.0) {
+        Workload be = factory.bestEffortJob("be");
+        be.total_work *= 2.0;
+        drv.addArrival(registry.add(be), t);
+    }
+    drv.run(kHorizon);
+
+    Outcome out;
+    int on_target = 0;
+    for (WorkloadId id : primary) {
+        const Workload &w = registry.get(id);
+        double norm;
+        if (w.type == workload::WorkloadType::Analytics) {
+            norm = w.completed ? w.target.completion_time_s /
+                                     (w.completion_time -
+                                      w.arrival_time)
+                               : w.work_done / w.total_work;
+        } else {
+            norm = drv.meanNormalizedPerf(id);
+        }
+        norm = std::min(norm, 1.25);
+        out.mean_norm += norm;
+        if (norm >= 0.9)
+            ++on_target;
+    }
+    out.mean_norm /= double(primary.size());
+    out.frac_on_target = double(on_target) / double(primary.size());
+    auto means = drv.cpuUsedGrid().windowMeans(300.0, kHorizon * 0.6);
+    for (double m : means)
+        out.mean_util += m;
+    out.mean_util /= double(means.size());
+    const core::QuasarStats &st = mgr.stats();
+    out.adjustments = st.scale_up_adjustments +
+                      st.scale_out_adjustments + st.rescheduled;
+    return out;
+}
+
+void
+printRow(const char *name, const Outcome &o)
+{
+    std::printf("%-28s %10.2f %12.0f%% %10.1f%% %8zu\n", name,
+                o.mean_norm, 100.0 * o.frac_on_target,
+                100.0 * o.mean_util, o.adjustments);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablations: Quasar design choices");
+    std::printf("\n%-28s %10s %13s %11s %8s\n", "variant", "perf/tgt",
+                "on-target", "CPU util", "adjusts");
+
+    const uint64_t seed = 7117;
+
+    core::QuasarConfig base;
+    base.seed = 1;
+    printRow("quasar (default)", runScenario(base, seed, false));
+
+    core::QuasarConfig out_first = base;
+    out_first.scheduler.scale_up_first = false;
+    printRow("scale-out-first sizing",
+             runScenario(out_first, seed, false));
+
+    core::QuasarConfig no_feedback = base;
+    no_feedback.feedback_loop = false;
+    printRow("no feedback loop",
+             runScenario(no_feedback, seed, false));
+
+    core::QuasarConfig blind = base;
+    blind.scheduler.slope_guess = 0.0; // ignore interference estimates
+    blind.scheduler.max_resident_loss = 1.0;
+    printRow("interference-blind",
+             runScenario(blind, seed, false));
+
+    core::QuasarConfig no_partition = base;
+    no_partition.resource_partitioning = false;
+    printRow("no resource partitioning",
+             runScenario(no_partition, seed, false));
+
+    core::QuasarConfig no_predict = base;
+    no_predict.predict_lead_s = 0.0;
+    printRow("reactive service sizing",
+             runScenario(no_predict, seed, false));
+
+    bench::section("with phase-changing workloads (Sec. 4.1)");
+    std::printf("%-28s %10s %13s %11s %8s\n", "variant", "perf/tgt",
+                "on-target", "CPU util", "adjusts");
+    core::QuasarConfig proactive = base;
+    printRow("proactive detection on",
+             runScenario(proactive, seed, true));
+    core::QuasarConfig reactive_only = base;
+    reactive_only.proactive_detection = false;
+    printRow("reactive only",
+             runScenario(reactive_only, seed, true));
+
+    std::printf("\nexpected shape: scale-out-first thrashes (many more "
+                "adjustments at lower utilization); interference "
+                "blindness and a disabled feedback loop are partially "
+                "compensated by runtime adaptation (more corrective "
+                "work for similar end performance) — the static "
+                "placement quality the paper measures matters most "
+                "for managers without Quasar's monitoring loop.\n");
+    return 0;
+}

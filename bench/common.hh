@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Shared helpers for the experiment benches: standard seed-workload
+ * sets, table formatting, and scenario glue. Each bench binary
+ * regenerates one table or figure of the paper and prints the same
+ * rows/series the paper reports.
+ */
+
+#ifndef QUASAR_BENCH_COMMON_HH
+#define QUASAR_BENCH_COMMON_HH
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workload/factory.hh"
+
+namespace quasar::bench
+{
+
+/** Section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n================================================="
+                "=============\n%s\n"
+                "=================================================="
+                "============\n",
+                title.c_str());
+}
+
+/** Sub-section header. */
+inline void
+section(const std::string &title)
+{
+    std::printf("\n--- %s ---\n", title.c_str());
+}
+
+/**
+ * The offline-characterized seed set used to anchor classification
+ * (paper: 20-30 representative applications). Deterministic for a
+ * given rng.
+ */
+inline std::vector<workload::Workload>
+standardSeeds(workload::WorkloadFactory &factory, size_t per_family = 5)
+{
+    std::vector<workload::Workload> seeds;
+    auto &rng = factory.rng();
+    for (size_t i = 0; i < per_family; ++i) {
+        seeds.push_back(
+            factory.hadoopJob("seed-hadoop", rng.uniform(5.0, 250.0)));
+        seeds.push_back(
+            factory.sparkJob("seed-spark", rng.uniform(5.0, 60.0)));
+        seeds.push_back(
+            factory.stormJob("seed-storm", rng.uniform(2.0, 40.0)));
+        double mq = rng.uniform(5e4, 3e5);
+        seeds.push_back(factory.memcachedService(
+            "seed-memcached", mq, 200e-6, 50.0,
+            std::make_shared<tracegen::FlatLoad>(mq)));
+        double wq = rng.uniform(100.0, 400.0);
+        seeds.push_back(factory.webService(
+            "seed-web", wq, 0.1,
+            std::make_shared<tracegen::FlatLoad>(wq)));
+        double cq = rng.uniform(3e3, 15e3);
+        seeds.push_back(factory.cassandraService(
+            "seed-cassandra", cq, 30e-3, 200.0,
+            std::make_shared<tracegen::FlatLoad>(cq)));
+    }
+    static const char *families[] = {"spec-int", "spec-fp", "parsec",
+                                     "splash2",  "minebench",
+                                     "bioparallel", "specjbb", "mix"};
+    for (size_t i = 0; i < per_family; ++i)
+        for (const char *fam : families)
+            seeds.push_back(factory.singleNodeJob("seed-single", fam));
+    return seeds;
+}
+
+/**
+ * The best completion time a parameter sweep finds for an analytics
+ * job: the truth-optimal uniform allocation over platforms,
+ * configurations, and node counts (bounded by servers available per
+ * platform). The paper sets job targets this way.
+ */
+inline double
+sweepBestCompletion(const workload::Workload &w,
+                    const std::vector<sim::Platform> &catalog,
+                    int servers_per_platform, int max_nodes = 12)
+{
+    // Best per-node rate of every server in the cluster, then the
+    // best prefix of the descending ranking (mixed platforms allowed,
+    // exactly what a scheduler could achieve on an idle cluster).
+    std::vector<double> node_rates;
+    for (const sim::Platform &p : catalog) {
+        double best_node = 0.0;
+        for (const workload::ScaleUpConfig &cfg :
+             workload::scaleUpGrid(p, w.type))
+            best_node = std::max(best_node,
+                                 w.truth.nodeRateQuiet(p, cfg));
+        for (int i = 0; i < servers_per_platform; ++i)
+            node_rates.push_back(best_node);
+    }
+    std::sort(node_rates.rbegin(), node_rates.rend());
+    double best_rate = 0.0;
+    std::vector<double> prefix;
+    for (double r : node_rates) {
+        if (int(prefix.size()) >= max_nodes)
+            break;
+        prefix.push_back(r);
+        best_rate = std::max(best_rate, w.truth.jobRate(prefix));
+    }
+    return w.total_work / best_rate;
+}
+
+} // namespace quasar::bench
+
+#endif // QUASAR_BENCH_COMMON_HH

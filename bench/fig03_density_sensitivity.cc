@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Reproduces paper Fig. 3: sensitivity of classification accuracy to
+ * the number of observed entries per input-matrix row (panels a-d:
+ * 90th-percentile error per classification type for Hadoop, memcached,
+ * and single-node workloads), and panel e: profiling + decision
+ * overhead versus density, with the 4-parallel vs exhaustive
+ * decision-time comparison.
+ */
+
+#include <chrono>
+#include <cmath>
+
+#include "bench/common.hh"
+#include "core/classifier.hh"
+#include "stats/summary.hh"
+
+using namespace quasar;
+using workload::Workload;
+
+namespace
+{
+
+struct P90s
+{
+    double scale_up = 0.0;
+    double scale_out = 0.0;
+    double het = 0.0;
+    double interference = 0.0;
+    double profiling_s = 0.0;
+    double decision_s = 0.0;
+    double decision_exh_s = 0.0;
+};
+
+double
+relErr(double est, double truth)
+{
+    return std::fabs(est - truth) / std::max(std::fabs(truth), 1e-9);
+}
+
+/** Evaluate one workload family at one profiling density. */
+P90s
+evalFamily(const std::string &family, size_t density, uint64_t seed)
+{
+    auto catalog = sim::localPlatforms();
+    profiling::ProfilerConfig pcfg;
+    pcfg.samples_per_classification = density;
+    profiling::Profiler profiler(catalog, pcfg);
+    profiling::ProfilerConfig nf;
+    nf.noise_sigma = 0.0;
+    profiling::Profiler truth_prof(catalog, nf);
+
+    core::ClassifierConfig cfg;
+    core::Classifier clf(profiler, cfg, seed);
+    core::ClassifierConfig cfg_exh = cfg;
+    cfg_exh.exhaustive = true;
+    core::Classifier clf_exh(profiler, cfg_exh, seed);
+
+    workload::WorkloadFactory factory{stats::Rng(seed)};
+    auto seeds = bench::standardSeeds(factory, 4);
+    clf.seedOffline(seeds, 0.0);
+    clf_exh.seedOffline(seeds, 0.0);
+
+    stats::Rng rng(seed ^ 0xF00D);
+    for (int i = 0; i < 80; ++i) {
+        Workload w = factory.randomWorkload("warm");
+        auto d = profiler.profile(w, 0.0, rng);
+        clf.classify(w, d);
+    }
+
+    stats::Samples su, so, het, ifr;
+    P90s out;
+    const int count = 12;
+    for (int i = 0; i < count; ++i) {
+        Workload w;
+        if (family == "hadoop") {
+            w = factory.hadoopJob("h", factory.rng().uniform(1, 300));
+        } else if (family == "memcached") {
+            double q = factory.rng().uniform(5e4, 4e5);
+            w = factory.memcachedService(
+                "m", q, 200e-6, 60.0,
+                std::make_shared<tracegen::FlatLoad>(q));
+        } else {
+            static const char *fams[] = {"spec-int", "parsec",
+                                         "minebench", "specjbb"};
+            w = factory.singleNodeJob("s", fams[i % 4]);
+        }
+
+        auto data = profiler.profile(w, 0.0, rng);
+        out.profiling_s += data.profiling_seconds;
+        auto t0 = std::chrono::steady_clock::now();
+        auto est = clf.classify(w, data);
+        auto t1 = std::chrono::steady_clock::now();
+        auto est_exh = clf_exh.classify(w, data);
+        auto t2 = std::chrono::steady_clock::now();
+        out.decision_s += std::chrono::duration<double>(t1 - t0).count();
+        out.decision_exh_s +=
+            std::chrono::duration<double>(t2 - t1).count();
+
+        stats::Rng z(1);
+        auto su_true = truth_prof.denseScaleUpRow(w, 0.0, z);
+        for (size_t c = 0; c < su_true.size(); ++c)
+            su.add(relErr(est.scale_up_perf[c], su_true[c]));
+        auto ref = profiling::Profiler::referenceConfig(
+            catalog[profiler.scaleUpPlatform()], w.type);
+        if (workload::isDistributed(w.type)) {
+            auto so_true = truth_prof.denseScaleOutRow(w, 0.0, ref, z);
+            for (size_t c = 0; c < so_true.size(); ++c)
+                so.add(relErr(est.scale_out_speedup[c],
+                              so_true[c] / so_true[0]));
+        }
+        auto het_true = truth_prof.denseHeterogeneityRow(w, 0.0, z);
+        double hn = het_true[profiler.scaleUpPlatform()];
+        for (size_t c = 0; c < het_true.size(); ++c)
+            het.add(relErr(est.platform_factor[c], het_true[c] / hn));
+        auto tol_true = truth_prof.denseInterferenceRow(w, 0.0, ref);
+        for (size_t c = 0; c < tol_true.size(); ++c)
+            ifr.add(std::fabs(est.tolerated[c] - tol_true[c]));
+    }
+    out.scale_up = su.percentile(90);
+    out.scale_out = so.percentile(90);
+    out.het = het.percentile(90);
+    out.interference = ifr.percentile(90);
+    out.profiling_s /= count;
+    out.decision_s /= count;
+    out.decision_exh_s /= count;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 3: classification accuracy & overhead vs "
+                  "input-matrix density");
+
+    static const char *families[] = {"hadoop", "memcached",
+                                     "single-node"};
+    static const size_t densities[] = {1, 2, 3, 4, 6};
+
+    for (const char *fam : families) {
+        bench::section(std::string(fam) +
+                       ": 90th-pct error vs entries/row");
+        std::printf("%8s %10s %10s %10s %12s\n", "entries", "scale-up",
+                    "scale-out", "heterog.", "interference");
+        for (size_t d : densities) {
+            P90s r = evalFamily(fam, d, 1000 + d);
+            if (std::string(fam) == "single-node")
+                std::printf("%8zu %9.1f%% %10s %9.1f%% %11.3f\n", d,
+                            100 * r.scale_up, "-", 100 * r.het,
+                            r.interference);
+            else
+                std::printf("%8zu %9.1f%% %9.1f%% %9.1f%% %11.3f\n", d,
+                            100 * r.scale_up, 100 * r.scale_out,
+                            100 * r.het, r.interference);
+        }
+    }
+
+    bench::section("Fig. 3e: overhead vs density (hadoop family)");
+    std::printf("%8s %15s %18s %18s\n", "entries", "profiling (s)",
+                "decision 4p (ms)", "decision exh (ms)");
+    for (size_t d : densities) {
+        P90s r = evalFamily("hadoop", d, 2000 + d);
+        std::printf("%8zu %15.1f %18.2f %18.2f\n", d, r.profiling_s,
+                    1e3 * r.decision_s, 1e3 * r.decision_exh_s);
+    }
+
+    std::printf("\npaper reference: one entry/row is inaccurate; two or "
+                "more entries cut errors sharply with diminishing "
+                "returns past 4-5; profiling cost grows with density "
+                "while exhaustive decisions cost ~two orders more than "
+                "the four parallel classifications.\n");
+    return 0;
+}

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Reproduces paper Fig. 5 and Table 3: a single Hadoop job at a time
+ * on the 40-server local cluster. For each of ten Mahout-style jobs
+ * (datasets 1-900 GB) we run the job under the Hadoop self-scheduler
+ * (dataset-driven sizing, default knobs, least-loaded placement) and
+ * under Quasar, and report the execution-time reduction plus the gap
+ * to the target (the best completion time found by a parameter sweep).
+ * Table 3 prints the parameter settings both managers chose for job
+ * H8.
+ */
+
+#include <cmath>
+
+#include "baselines/framework_scheduler.hh"
+#include "bench/common.hh"
+#include "core/manager.hh"
+#include "driver/scenario.hh"
+
+using namespace quasar;
+using workload::ScaleUpConfig;
+using workload::Workload;
+
+namespace
+{
+
+/** Run one job under a manager; returns completion seconds. */
+template <typename MakeManager>
+double
+runOne(const Workload &job, MakeManager make)
+{
+    sim::Cluster cluster = sim::Cluster::localCluster();
+    workload::WorkloadRegistry registry;
+    auto manager = make(cluster, registry);
+    driver::ScenarioDriver drv(cluster, registry, *manager,
+                               driver::DriverConfig{.tick_s = 10.0});
+    WorkloadId id = registry.add(job);
+    drv.addArrival(id, 0.0);
+    drv.run(400000.0);
+    const Workload &w = registry.get(id);
+    return w.completed ? w.completion_time - w.arrival_time : -1.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 5: single Hadoop job, Quasar vs the Hadoop "
+                  "self-scheduler (40-server local cluster)");
+
+    auto catalog = sim::localPlatforms();
+    workload::WorkloadFactory factory{stats::Rng(42)};
+    auto seeds = bench::standardSeeds(factory, 4);
+
+    // Datasets spanning the paper's 1-900 GB range.
+    double dataset_gb[10] = {1,  5,   12,  20,  55,
+                             90, 140, 220, 500, 900};
+
+    std::printf("\n%-5s %9s %12s %12s %10s %12s\n", "job", "dataset",
+                "hadoop (s)", "quasar (s)", "speedup", "gap-to-tgt");
+
+    double sum_speedup = 0.0, sum_gap = 0.0, sum_needed = 0.0;
+    Workload h8;
+    ScaleUpConfig h8_quasar_cfg;
+    std::vector<std::string> h8_platforms;
+
+    for (int i = 0; i < 10; ++i) {
+        Workload job = factory.hadoopJob("H" + std::to_string(i + 1),
+                                         dataset_gb[i]);
+        double target_s = bench::sweepBestCompletion(job, catalog, 4);
+        job.target = workload::PerformanceTarget::completionTime(
+            target_s, job.total_work);
+
+        double t_hadoop = runOne(job, [&](sim::Cluster &c,
+                                          workload::WorkloadRegistry &r) {
+            return std::make_unique<baselines::FrameworkSelfManager>(
+                c, r, 66 + i);
+        });
+
+        ScaleUpConfig chosen;
+        std::vector<std::string> used_platforms;
+        double t_quasar = 0.0;
+        {
+            sim::Cluster cluster = sim::Cluster::localCluster();
+            workload::WorkloadRegistry registry;
+            core::QuasarConfig qcfg;
+            qcfg.seed = 99u + i;
+            core::QuasarManager mgr(cluster, registry, qcfg);
+            mgr.seedOffline(seeds, 0.0);
+            driver::ScenarioDriver drv(
+                cluster, registry, mgr,
+                driver::DriverConfig{.tick_s = 10.0});
+            WorkloadId id = registry.add(job);
+            drv.addArrival(id, 0.0);
+            // Snoop the placement shortly after scheduling (Table 3).
+            bool captured = false;
+            drv.setTickHook([&](double) {
+                if (captured)
+                    return;
+                auto hosting = cluster.serversHosting(id);
+                if (hosting.empty())
+                    return;
+                const Workload &w = registry.get(id);
+                const sim::TaskShare *share =
+                    cluster.server(hosting.front()).share(id);
+                chosen.cores = share->cores;
+                chosen.memory_gb = share->memory_gb;
+                chosen.knobs = w.active_knobs;
+                for (ServerId s : hosting)
+                    used_platforms.push_back(
+                        cluster.server(s).platform().name);
+                captured = true;
+            });
+            drv.run(400000.0);
+            const Workload &w = registry.get(id);
+            t_quasar =
+                w.completed ? w.completion_time - w.arrival_time : -1.0;
+        }
+
+        double speedup = 100.0 * (t_hadoop - t_quasar) / t_hadoop;
+        double gap = 100.0 * (t_quasar - target_s) / target_s;
+        double needed = 100.0 * (t_hadoop - target_s) / t_hadoop;
+        sum_speedup += speedup;
+        sum_gap += std::fabs(gap);
+        sum_needed += needed;
+        std::printf("H%-4d %7.0fGB %12.0f %12.0f %9.1f%% %11.1f%%\n",
+                    i + 1, dataset_gb[i], t_hadoop, t_quasar, speedup,
+                    gap);
+
+        if (i == 7) { // H8: the paper's Table 3 example
+            h8 = job;
+            h8_quasar_cfg = chosen;
+            h8_platforms = used_platforms;
+        }
+    }
+
+    std::printf("\naverage speedup: %.1f%% (paper: 29%%, up to 58%%)\n",
+                sum_speedup / 10.0);
+    std::printf("average |gap to target|: %.1f%% (paper: 5.8%%)\n",
+                sum_gap / 10.0);
+    std::printf("average improvement needed to reach target: %.1f%% "
+                "(the paper's yellow dots)\n",
+                sum_needed / 10.0);
+
+    bench::section("Table 3: parameter settings for job H8");
+    workload::FrameworkKnobs def = baselines::hadoopDefaultKnobs();
+    std::printf("%-18s %-14s %-14s\n", "parameter", "Quasar", "Hadoop");
+    std::printf("%-18s %-14d %-14d\n", "block size (MB)",
+                h8_quasar_cfg.knobs.block_mb, def.block_mb);
+    std::printf("%-18s %-14s %-14s\n", "compression",
+                workload::compressionName(
+                    h8_quasar_cfg.knobs.compression).c_str(),
+                workload::compressionName(def.compression).c_str());
+    std::printf("%-18s %-14.2f %-14.2f\n", "heapsize (GB)",
+                h8_quasar_cfg.knobs.heap_gb, def.heap_gb);
+    std::printf("%-18s %-14d %-14d\n", "replication",
+                h8_quasar_cfg.knobs.replication, def.replication);
+    std::printf("%-18s %-14d %-14d\n", "mappers per node",
+                h8_quasar_cfg.knobs.mappers_per_node,
+                def.mappers_per_node);
+    std::string plats;
+    for (const std::string &p : h8_platforms)
+        plats += p + " ";
+    std::printf("%-18s %-14s %-14s\n", "server types",
+                plats.empty() ? "-" : plats.c_str(), "all types (LL)");
+    std::printf("(H8 truth optimum: mappers/core ratio %.2f, heap "
+                "%.2f GB, compression affinity %+.2f)\n",
+                h8.truth.mapper_ratio_opt, h8.truth.heap_opt_gb,
+                h8.truth.compression_affinity);
+    return 0;
+}

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Reproduces paper Fig. 8: a HotCRP-style webserving workload with a
+ * 100 ms per-request latency constraint under flat, fluctuating, and
+ * spiking traffic, managed by Quasar or by an auto-scaling system
+ * (add a least-loaded fixed-size instance above 70% utilization).
+ * Spare capacity runs best-effort single-node tasks. Panels:
+ *  (a/b/d) achieved QPS vs target for each load shape,
+ *  (c) cores allocated to the service vs best-effort (Quasar,
+ *      fluctuating load),
+ *  (e) fraction of queries meeting the latency QoS around the spike.
+ */
+
+#include <cmath>
+
+#include "baselines/autoscale.hh"
+#include "bench/common.hh"
+#include "core/manager.hh"
+#include "driver/scenario.hh"
+
+using namespace quasar;
+using workload::Workload;
+
+namespace
+{
+
+constexpr double kHorizon = 24000.0; // ~400 minutes
+
+struct ServiceResult
+{
+    stats::TimeSeries offered;
+    stats::TimeSeries served_ok;
+    stats::TimeSeries qos_fraction;
+    stats::TimeSeries service_cores;
+    stats::TimeSeries be_cores;
+    double mean_tracking = 0.0;    ///< served-in-QoS / offered.
+    double qos_met_fraction = 0.0; ///< load-weighted QoS fraction.
+    double be_slowdown = 0.0;      ///< mean runtime vs solo best.
+    size_t be_finished = 0;
+};
+
+tracegen::LoadPatternPtr
+makeLoad(const std::string &shape)
+{
+    if (shape == "flat")
+        return std::make_shared<tracegen::FlatLoad>(110.0);
+    if (shape == "fluctuating")
+        return std::make_shared<tracegen::FluctuatingLoad>(280.0, 180.0,
+                                                           7000.0);
+    // A sharp spike: 1-minute ramp, 40 minutes at the peak.
+    return std::make_shared<tracegen::SpikeLoad>(120.0, 460.0, 12000.0,
+                                                 60.0, 2400.0);
+}
+
+/** Solo-optimal completion for a best-effort task. */
+double
+soloBest(const Workload &w, const std::vector<sim::Platform> &catalog)
+{
+    double best = 0.0;
+    for (const sim::Platform &p : catalog)
+        for (const auto &cfg : workload::scaleUpGrid(p, w.type))
+            best = std::max(best, w.truth.nodeRateQuiet(p, cfg));
+    return w.total_work / best;
+}
+
+template <typename MakeManager>
+ServiceResult
+runShape(const std::string &shape, uint64_t seed, MakeManager make)
+{
+    sim::Cluster cluster = sim::Cluster::localCluster();
+    workload::WorkloadRegistry registry;
+    auto manager = make(cluster, registry);
+    driver::ScenarioDriver drv(cluster, registry, *manager,
+                               driver::DriverConfig{.tick_s = 10.0,
+                                                    .record_every = 6});
+
+    workload::WorkloadFactory factory{stats::Rng(seed)};
+    Workload hotcrp = factory.webService("hotcrp", 500.0, 0.1,
+                                         makeLoad(shape));
+    WorkloadId svc = registry.add(hotcrp);
+    drv.addArrival(svc, 1.0);
+
+    std::vector<WorkloadId> be_ids;
+    std::vector<double> be_solo;
+    // Best-effort supply sized below cluster capacity: runtimes then
+    // reflect placement quality rather than queueing delay.
+    for (int i = 0; i < int(kHorizon / 45.0); ++i) {
+        Workload be = factory.bestEffortJob("be-" + std::to_string(i));
+        be.total_work *= 3.0;
+        be_solo.push_back(soloBest(be, cluster.catalog()));
+        WorkloadId id = registry.add(be);
+        be_ids.push_back(id);
+        drv.addArrival(id, 45.0 * double(i + 1));
+    }
+
+    ServiceResult res;
+    drv.setTickHook([&](double t) {
+        if (std::fmod(t, 60.0) > 10.5)
+            return;
+        int svc_cores = 0, be_cores = 0;
+        for (size_t s = 0; s < cluster.size(); ++s) {
+            for (const sim::TaskShare &task :
+                 cluster.server(ServerId(s)).tasks()) {
+                if (task.workload == svc)
+                    svc_cores += task.cores;
+                else if (task.best_effort)
+                    be_cores += task.cores;
+            }
+        }
+        res.service_cores.record(t, svc_cores);
+        res.be_cores.record(t, be_cores);
+    });
+
+    drv.run(kHorizon);
+
+    const driver::ServiceTrace *trace = drv.serviceTrace(svc);
+    double track_sum = 0.0, qos_w = 0.0, offered_sum = 0.0;
+    for (size_t i = 0; i < trace->offered_qps.size(); ++i) {
+        double off = trace->offered_qps.valueAt(i);
+        double ok = trace->served_ok_qps.valueAt(i);
+        res.offered.record(trace->offered_qps.timeAt(i), off);
+        res.served_ok.record(trace->served_ok_qps.timeAt(i), ok);
+        res.qos_fraction.record(trace->qos_fraction.timeAt(i),
+                                trace->qos_fraction.valueAt(i));
+        if (off > 0.0) {
+            track_sum += std::min(ok / off, 1.0) * off;
+            qos_w += trace->qos_fraction.valueAt(i) * off;
+            offered_sum += off;
+        }
+    }
+    res.mean_tracking = offered_sum > 0 ? track_sum / offered_sum : 0.0;
+    res.qos_met_fraction = offered_sum > 0 ? qos_w / offered_sum : 0.0;
+
+    double slow_sum = 0.0;
+    for (size_t i = 0; i < be_ids.size(); ++i) {
+        const Workload &w = registry.get(be_ids[i]);
+        if (!w.completed)
+            continue;
+        double run = w.completion_time - w.arrival_time;
+        slow_sum += (run - be_solo[i]) / be_solo[i];
+        ++res.be_finished;
+    }
+    res.be_slowdown =
+        res.be_finished ? slow_sum / double(res.be_finished) : 0.0;
+    return res;
+}
+
+void
+printSeries(const char *label, const ServiceResult &r, double step_s)
+{
+    std::printf("%-8s", label);
+    for (double t = step_s; t <= kHorizon; t += step_s)
+        std::printf(" %5.0f", r.served_ok.meanOver(t - step_s, t));
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 8: HotCRP low-latency service, Quasar vs "
+                  "auto-scaling (flat / fluctuating / spike loads)");
+
+    workload::WorkloadFactory seed_factory{stats::Rng(808)};
+    auto offline = bench::standardSeeds(seed_factory, 4);
+
+    auto make_autoscale = [&](auto &c, auto &r) {
+        return std::make_unique<baselines::AutoScaleManager>(
+            c, r, baselines::AutoScaleConfig{}, 333);
+    };
+    auto make_quasar = [&](auto &c, auto &r) {
+        core::QuasarConfig cfg;
+        cfg.seed = 880;
+        auto m = std::make_unique<core::QuasarManager>(c, r, cfg);
+        m->seedOffline(offline, 0.0);
+        return m;
+    };
+
+    const double step = kHorizon / 10.0;
+    for (const char *shape : {"flat", "fluctuating", "spike"}) {
+        bench::section(std::string(shape) +
+                       " load: served QPS within QoS (10 windows)");
+        ServiceResult as = runShape(shape, 1808, make_autoscale);
+        ServiceResult qs = runShape(shape, 1808, make_quasar);
+        std::printf("%-8s", "target");
+        for (double t = step; t <= kHorizon; t += step)
+            std::printf(" %5.0f", as.offered.meanOver(t - step, t));
+        std::printf("\n");
+        printSeries("autoscl", as, step);
+        printSeries("quasar", qs, step);
+        std::printf("load tracking: autoscale %.1f%%, quasar %.1f%% of "
+                    "offered queries served within QoS\n",
+                    100.0 * as.mean_tracking, 100.0 * qs.mean_tracking);
+        std::printf("queries meeting QoS: autoscale %.1f%%, quasar "
+                    "%.1f%%\n",
+                    100.0 * as.qos_met_fraction,
+                    100.0 * qs.qos_met_fraction);
+        std::printf("best-effort: autoscale %zu done (+%.0f%% vs "
+                    "solo-best), quasar %zu done (+%.0f%%)\n",
+                    as.be_finished, 100.0 * as.be_slowdown,
+                    qs.be_finished, 100.0 * qs.be_slowdown);
+
+        if (std::string(shape) == "fluctuating") {
+            bench::section("Fig. 8c: core allocation under Quasar "
+                           "(fluctuating load)");
+            std::printf("%-8s", "hotcrp");
+            for (double t = step; t <= kHorizon; t += step)
+                std::printf(" %5.0f",
+                            qs.service_cores.meanOver(t - step, t));
+            std::printf("\n%-8s", "b.e.");
+            for (double t = step; t <= kHorizon; t += step)
+                std::printf(" %5.0f",
+                            qs.be_cores.meanOver(t - step, t));
+            std::printf("\n");
+        }
+    }
+
+    std::printf("\npaper reference: Quasar tracks target QPS within "
+                "~4%% and meets latency QoS for nearly all requests; "
+                "auto-scaling drops ~18%% of QPS under fluctuation and "
+                "misses QoS for >20%% of requests around the spike; "
+                "best-effort tasks finish within 5%% of optimal under "
+                "Quasar vs ~24%% with auto-scale.\n");
+    return 0;
+}

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the decision-path latencies the
+ * paper reports (Secs. 3.2-3.4, 6.5): SVD and PQ-reconstruction on
+ * classification-sized matrices, fold-in of a new workload row, the
+ * four parallel classifications vs the exhaustive one, greedy
+ * allocation on 40- and 200-server clusters, and the performance
+ * oracle used by monitoring.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hh"
+#include "core/classifier.hh"
+#include "core/scheduler.hh"
+#include "linalg/completion.hh"
+#include "linalg/svd.hh"
+
+using namespace quasar;
+
+namespace
+{
+
+linalg::Matrix
+randomMatrix(size_t m, size_t n, uint64_t seed)
+{
+    stats::Rng rng(seed);
+    linalg::Matrix a(m, n);
+    for (size_t i = 0; i < m; ++i)
+        for (size_t j = 0; j < n; ++j)
+            a.at(i, j) = rng.normal(0.0, 1.0);
+    return a;
+}
+
+/** Shared fixture state built once. */
+struct Fixture
+{
+    std::vector<sim::Platform> catalog = sim::localPlatforms();
+    profiling::Profiler profiler{catalog, {}};
+    core::Classifier clf{profiler, {}, 7};
+    core::Classifier clf_exh;
+    workload::WorkloadFactory factory{stats::Rng(7777)};
+    stats::Rng rng{888};
+
+    Fixture()
+        : clf_exh(profiler,
+                  [] {
+                      core::ClassifierConfig c;
+                      c.exhaustive = true;
+                      return c;
+                  }(),
+                  7)
+    {
+        auto seeds = bench::standardSeeds(factory, 4);
+        clf.seedOffline(seeds, 0.0);
+        clf_exh.seedOffline(seeds, 0.0);
+        for (int i = 0; i < 60; ++i) {
+            workload::Workload w = factory.randomWorkload("warm");
+            auto d = profiler.profile(w, 0.0, rng);
+            clf.classify(w, d);
+            clf_exh.classify(w, d);
+        }
+    }
+
+    static Fixture &get()
+    {
+        static Fixture f;
+        return f;
+    }
+};
+
+} // namespace
+
+static void
+BM_SvdJacobi(benchmark::State &state)
+{
+    auto a = randomMatrix(60, size_t(state.range(0)), 3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(linalg::svd(a, 8));
+}
+BENCHMARK(BM_SvdJacobi)->Arg(16)->Arg(32)->Arg(64);
+
+static void
+BM_RandomizedSvd(benchmark::State &state)
+{
+    auto a = randomMatrix(300, size_t(state.range(0)), 4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(linalg::randomizedSvd(a, 8));
+}
+BENCHMARK(BM_RandomizedSvd)->Arg(64)->Arg(256)->Arg(1024);
+
+static void
+BM_PqFit(benchmark::State &state)
+{
+    stats::Rng rng(5);
+    size_t rows = size_t(state.range(0));
+    linalg::MaskedMatrix m(rows, 56);
+    for (size_t r = 0; r < rows; ++r)
+        for (size_t c = 0; c < 56; ++c)
+            if (r < 30 || rng.chance(0.05))
+                m.set(r, c, rng.normal(1.0, 0.5));
+    for (auto _ : state) {
+        linalg::PqModel model;
+        model.fit(m);
+        benchmark::DoNotOptimize(model.trainRmse());
+    }
+}
+BENCHMARK(BM_PqFit)->Arg(50)->Arg(150)->Arg(400);
+
+static void
+BM_FoldInRow(benchmark::State &state)
+{
+    stats::Rng rng(6);
+    linalg::MaskedMatrix m(120, 56);
+    for (size_t r = 0; r < 120; ++r)
+        for (size_t c = 0; c < 56; ++c)
+            if (r < 30 || rng.chance(0.06))
+                m.set(r, c, rng.normal(1.0, 0.5));
+    linalg::PqModel model;
+    model.fit(m);
+    std::vector<std::pair<size_t, double>> obs = {{3, 1.2}, {40, 0.8}};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.foldInRow(obs));
+}
+BENCHMARK(BM_FoldInRow);
+
+static void
+BM_Classify4Parallel(benchmark::State &state)
+{
+    Fixture &f = Fixture::get();
+    workload::Workload w =
+        f.factory.hadoopJob("bench", 50.0);
+    auto data = f.profiler.profile(w, 0.0, f.rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(f.clf.classify(w, data));
+}
+BENCHMARK(BM_Classify4Parallel);
+
+static void
+BM_ClassifyExhaustive(benchmark::State &state)
+{
+    Fixture &f = Fixture::get();
+    workload::Workload w =
+        f.factory.hadoopJob("bench", 50.0);
+    auto data = f.profiler.profile(w, 0.0, f.rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(f.clf_exh.classify(w, data));
+}
+BENCHMARK(BM_ClassifyExhaustive);
+
+static void
+BM_GreedyAllocate(benchmark::State &state)
+{
+    Fixture &f = Fixture::get();
+    sim::Cluster cluster = state.range(0) == 40
+                               ? sim::Cluster::localCluster()
+                               : sim::Cluster::ec2Cluster();
+    workload::WorkloadRegistry registry;
+    core::GreedyScheduler sched(cluster);
+    workload::Workload w = f.factory.hadoopJob("bench", 50.0);
+    w.id = registry.add(w);
+    auto data = f.profiler.profile(w, 0.0, f.rng);
+    auto est = f.clf.classify(w, data);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            sched.allocate(w, est, w.total_work / 600.0, nullptr,
+                           true));
+}
+BENCHMARK(BM_GreedyAllocate)->Arg(40)->Arg(200);
+
+static void
+BM_OracleCurrentRate(benchmark::State &state)
+{
+    Fixture &f = Fixture::get();
+    sim::Cluster cluster = sim::Cluster::localCluster();
+    workload::WorkloadRegistry registry;
+    core::GreedyScheduler sched(cluster);
+    workload::Workload tmp = f.factory.hadoopJob("bench", 50.0);
+    WorkloadId id = registry.add(tmp);
+    workload::Workload &w = registry.get(id);
+    auto data = f.profiler.profile(w, 0.0, f.rng);
+    auto est = f.clf.classify(w, data);
+    auto alloc = sched.allocate(w, est, w.total_work / 600.0, nullptr,
+                                true);
+    for (const auto &node : alloc->nodes) {
+        sim::TaskShare share;
+        share.workload = id;
+        share.cores = node.cores;
+        share.memory_gb = node.memory_gb;
+        share.caused = w.causedPressure(0.0, node.cores);
+        cluster.server(node.server).place(share);
+    }
+    workload::PerfOracle oracle(cluster, registry);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(oracle.currentRate(w, 0.0));
+}
+BENCHMARK(BM_OracleCurrentRate);
+
+BENCHMARK_MAIN();

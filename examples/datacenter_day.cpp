@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Example: a mixed datacenter under three managers.
+ *
+ * The same 300-workload mix (batch analytics, latency-critical
+ * services, single-node jobs) runs on the 200-server EC2-style cluster
+ * under Quasar, reservation+least-loaded, and auto-scaling. The
+ * example prints the utilization and target-attainment gap between
+ * them — the core trade-off the paper quantifies.
+ *
+ * Build & run:  ./build/examples/datacenter_day
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "baselines/autoscale.hh"
+#include "baselines/reservation_ll.hh"
+#include "core/manager.hh"
+#include "driver/scenario.hh"
+#include "workload/factory.hh"
+
+using namespace quasar;
+using workload::Workload;
+
+namespace
+{
+
+constexpr double kHorizon = 10800.0; // three hours
+constexpr int kCount = 300;
+
+struct Outcome
+{
+    double mean_norm_perf = 0.0;
+    double mean_util = 0.0;
+    int finished = 0;
+};
+
+std::vector<Workload>
+buildMix(const std::vector<sim::Platform> &catalog)
+{
+    workload::WorkloadFactory factory{stats::Rng(123)};
+    auto &rng = factory.rng();
+    std::vector<Workload> mix;
+    for (int i = 0; i < kCount; ++i) {
+        double x = rng.uniform();
+        std::string name = "w" + std::to_string(i);
+        if (x < 0.65) {
+            mix.push_back(factory.singleNodeJob(name, "mix"));
+        } else if (x < 0.9) {
+            Workload j =
+                factory.hadoopJob(name, rng.uniform(2.0, 15.0));
+            double best_rate = 0.0;
+            for (const sim::Platform &p : catalog)
+                for (const auto &cfg :
+                     workload::scaleUpGrid(p, j.type))
+                    best_rate = std::max(
+                        best_rate, j.truth.nodeRateQuiet(p, cfg));
+            j.target = workload::PerformanceTarget::completionTime(
+                j.total_work / best_rate, j.total_work);
+            mix.push_back(j);
+        } else {
+            double qps = rng.uniform(50.0, 200.0);
+            mix.push_back(factory.webService(
+                name, qps, 0.1,
+                std::make_shared<tracegen::FluctuatingLoad>(
+                    0.75 * qps, 0.25 * qps, 5400.0)));
+        }
+    }
+    return mix;
+}
+
+template <typename MakeManager>
+Outcome
+run(MakeManager make)
+{
+    sim::Cluster cluster = sim::Cluster::ec2Cluster();
+    workload::WorkloadRegistry registry;
+    auto manager = make(cluster, registry);
+    driver::ScenarioDriver drv(cluster, registry, *manager,
+                               driver::DriverConfig{.tick_s = 15.0,
+                                                    .record_every = 4});
+    auto mix = buildMix(cluster.catalog());
+    std::vector<WorkloadId> ids;
+    for (size_t i = 0; i < mix.size(); ++i) {
+        WorkloadId id = registry.add(mix[i]);
+        ids.push_back(id);
+        drv.addArrival(id, 2.0 * double(i + 1));
+    }
+    drv.run(kHorizon);
+
+    Outcome out;
+    double norm_sum = 0.0;
+    for (WorkloadId id : ids) {
+        const Workload &w = registry.get(id);
+        double norm = drv.meanNormalizedPerf(id);
+        if (w.type == workload::WorkloadType::Analytics && w.completed)
+            norm = w.target.completion_time_s /
+                   (w.completion_time - w.arrival_time);
+        norm_sum += std::min(norm, 1.25);
+        if (w.completed)
+            ++out.finished;
+    }
+    out.mean_norm_perf = norm_sum / double(ids.size());
+    auto means = drv.cpuUsedGrid().windowMeans(600.0, kHorizon * 0.8);
+    for (double m : means)
+        out.mean_util += m;
+    out.mean_util /= double(means.size());
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== one datacenter mix, three managers ===\n");
+    std::printf("(300 workloads on 200 EC2-style servers)\n\n");
+
+    Outcome quasar = run([](auto &c, auto &r) {
+        core::QuasarConfig cfg;
+        cfg.seed = 5;
+        auto m = std::make_unique<core::QuasarManager>(c, r, cfg);
+        workload::WorkloadFactory seeder{stats::Rng(6)};
+        m->seedOffline(seeder, 24);
+        return m;
+    });
+    Outcome ll = run([](auto &c, auto &r) {
+        return std::make_unique<baselines::ReservationLLManager>(c, r,
+                                                                 8);
+    });
+    Outcome as = run([](auto &c, auto &r) {
+        return std::make_unique<baselines::AutoScaleManager>(
+            c, r, baselines::AutoScaleConfig{}, 9);
+    });
+
+    std::printf("%-24s %12s %12s %10s\n", "manager", "perf vs tgt",
+                "CPU util", "finished");
+    auto row = [](const char *name, const Outcome &o) {
+        std::printf("%-24s %11.0f%% %11.1f%% %10d\n", name,
+                    100.0 * o.mean_norm_perf, 100.0 * o.mean_util,
+                    o.finished);
+    };
+    row("quasar", quasar);
+    row("reservation+LL", ll);
+    row("auto-scale", as);
+
+    std::printf("\nQuasar's thesis in one table: with performance "
+                "targets instead of reservations, the same hardware "
+                "delivers more of the asked-for performance at higher "
+                "utilization.\n");
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Example: a latency-critical service through a day.
+ *
+ * A memcached-style service with a 200 us p99 constraint rides a
+ * diurnal load curve. The example prints, hour by hour, how Quasar
+ * grows and shrinks the allocation to track the load, and how much
+ * spare capacity flows to best-effort tasks at night.
+ *
+ * Build & run:  ./build/examples/latency_service
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/manager.hh"
+#include "driver/scenario.hh"
+#include "workload/factory.hh"
+
+using namespace quasar;
+using workload::Workload;
+
+int
+main()
+{
+    constexpr double kDay = 86400.0;
+
+    sim::Cluster cluster = sim::Cluster::localCluster();
+    workload::WorkloadRegistry registry;
+    core::QuasarManager quasar_mgr(cluster, registry, {});
+    workload::WorkloadFactory seeder{stats::Rng(17)};
+    quasar_mgr.seedOffline(seeder, 24);
+
+    driver::ScenarioDriver driver(cluster, registry, quasar_mgr,
+                                  driver::DriverConfig{.tick_s = 20.0,
+                                                       .record_every = 6});
+    workload::WorkloadFactory factory{stats::Rng(99)};
+
+    Workload mc = factory.memcachedService(
+        "frontend-cache", 1.2e6, 200e-6, 512.0,
+        std::make_shared<tracegen::DiurnalLoad>(0.25e6, 1.2e6, kDay,
+                                                14.0 * 3600.0));
+    WorkloadId svc = registry.add(mc);
+    driver.addArrival(svc, 1.0);
+
+    // Background best-effort work all day.
+    for (double t = 30.0; t < kDay * 0.95; t += 20.0) {
+        Workload be = factory.bestEffortJob("be");
+        be.total_work *= 4.0;
+        driver.addArrival(registry.add(be), t);
+    }
+
+    // Sample the allocation each hour.
+    struct HourRow
+    {
+        double offered = 0.0, capacity = 0.0;
+        int nodes = 0, cores = 0, be_cores = 0;
+    };
+    std::vector<HourRow> rows(25);
+    workload::PerfOracle oracle(cluster, registry);
+    driver.setTickHook([&](double t) {
+        if (std::fmod(t, 3600.0) > 20.5)
+            return;
+        size_t h = size_t(std::lround(t / 3600.0));
+        if (h >= rows.size())
+            return;
+        HourRow &row = rows[h];
+        const Workload &w = registry.get(svc);
+        row.offered = w.offeredQps(t);
+        auto hosting = cluster.serversHosting(svc);
+        row.nodes = int(hosting.size());
+        row.capacity =
+            hosting.empty() ? 0.0 : oracle.serviceCapacityQps(w, t);
+        for (ServerId s : hosting)
+            row.cores += cluster.server(s).share(svc)->cores;
+        for (size_t s = 0; s < cluster.size(); ++s)
+            for (const sim::TaskShare &task :
+                 cluster.server(ServerId(s)).tasks())
+                if (task.best_effort)
+                    row.be_cores += task.cores;
+    });
+
+    driver.run(kDay);
+
+    std::printf("=== memcached service through a day (Quasar) ===\n\n");
+    std::printf("%5s %11s %11s %7s %7s %9s\n", "hour", "load(kQPS)",
+                "cap(kQPS)", "nodes", "cores", "BE cores");
+    for (size_t h = 1; h < rows.size(); ++h) {
+        const HourRow &r = rows[h];
+        if (r.offered <= 0.0)
+            continue;
+        std::printf("%5zu %11.0f %11.0f %7d %7d %9d\n", h,
+                    r.offered / 1e3, r.capacity / 1e3, r.nodes,
+                    r.cores, r.be_cores);
+    }
+
+    const driver::ServiceTrace *trace = driver.serviceTrace(svc);
+    double qos_w = 0.0, off_sum = 0.0;
+    for (size_t i = 0; i < trace->offered_qps.size(); ++i) {
+        qos_w += trace->qos_fraction.valueAt(i) *
+                 trace->offered_qps.valueAt(i);
+        off_sum += trace->offered_qps.valueAt(i);
+    }
+    std::printf("\nqueries meeting the 200us QoS: %.1f%%\n",
+                off_sum > 0 ? 100.0 * qos_w / off_sum : 0.0);
+    std::printf("adjustments: %zu scale-ups, %zu scale-outs, %zu "
+                "shrinks\n",
+                quasar_mgr.stats().scale_up_adjustments,
+                quasar_mgr.stats().scale_out_adjustments,
+                quasar_mgr.stats().shrinks);
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Quickstart: bring up a 40-server heterogeneous cluster under Quasar,
+ * submit a Hadoop-style analytics job, a memcached-style service, and
+ * a handful of single-node batch jobs — each with a performance target
+ * instead of a reservation — and watch Quasar profile, classify,
+ * allocate, and adapt.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/manager.hh"
+#include "driver/scenario.hh"
+#include "workload/factory.hh"
+
+using namespace quasar;
+
+int
+main()
+{
+    // 1. The cluster: 40 servers over the ten Table-1 platforms A-J.
+    sim::Cluster cluster = sim::Cluster::localCluster();
+    workload::WorkloadRegistry registry;
+
+    // 2. The manager: default Quasar configuration.
+    core::QuasarManager quasar_mgr(cluster, registry,
+                                   core::QuasarConfig{});
+
+    // 3. Anchor the classifier with offline-profiled seed workloads
+    //    (the paper profiles 20-30 representative apps exhaustively).
+    workload::WorkloadFactory factory{stats::Rng(2024)};
+    quasar_mgr.seedOffline(factory, 24);
+
+    // 4. Workloads express performance targets, not reservations.
+    driver::ScenarioDriver driver(cluster, registry, quasar_mgr,
+                                  driver::DriverConfig{.tick_s = 10.0});
+
+    workload::Workload hadoop = factory.hadoopJob("mahout-recsys", 80.0);
+    hadoop.target = workload::WorkloadFactory::defaultAnalyticsTarget(
+        hadoop, cluster.catalog()[sim::highestEndPlatform(
+                    cluster.catalog())]);
+    WorkloadId hadoop_id = registry.add(hadoop);
+    driver.addArrival(hadoop_id, 5.0);
+
+    auto load = std::make_shared<tracegen::DiurnalLoad>(
+        60e3, 220e3, 3600.0, 1800.0); // compressed "day" of 1 hour
+    workload::Workload mc = factory.memcachedService(
+        "memcached-frontend", 220e3, 200e-6, 64.0, load);
+    WorkloadId mc_id = registry.add(mc);
+    driver.addArrival(mc_id, 10.0);
+
+    std::vector<WorkloadId> batch;
+    for (int i = 0; i < 6; ++i) {
+        workload::Workload w = factory.singleNodeJob(
+            "spec-" + std::to_string(i), i % 2 ? "spec-int" : "parsec");
+        WorkloadId id = registry.add(w);
+        batch.push_back(id);
+        driver.addArrival(id, 20.0 + 5.0 * i);
+    }
+
+    // 5. Run one simulated hour.
+    driver.run(3600.0);
+
+    // 6. Report.
+    std::printf("=== quickstart: Quasar on a 40-server cluster ===\n\n");
+    const workload::Workload &h = registry.get(hadoop_id);
+    std::printf("analytics job '%s' (%.0f GB dataset)\n",
+                h.name.c_str(), h.dataset_gb);
+    std::printf("  target completion: %.0f s\n",
+                h.target.completion_time_s);
+    if (h.completed)
+        std::printf("  finished in:       %.0f s\n",
+                    h.completion_time - h.arrival_time);
+    else
+        std::printf("  progress:          %.0f%%\n",
+                    100.0 * h.work_done / h.total_work);
+
+    const driver::ServiceTrace *trace = driver.serviceTrace(mc_id);
+    if (trace && !trace->qos_fraction.empty()) {
+        std::printf("\nmemcached service '%s'\n",
+                    registry.get(mc_id).name.c_str());
+        std::printf("  mean offered load:   %.0f QPS\n",
+                    trace->offered_qps.mean());
+        std::printf("  mean served in QoS:  %.0f QPS\n",
+                    trace->served_ok_qps.mean());
+        std::printf("  mean QoS fraction:   %.1f%%\n",
+                    100.0 * trace->qos_fraction.mean());
+    }
+
+    int done = 0;
+    for (WorkloadId id : batch)
+        if (registry.get(id).completed)
+            ++done;
+    std::printf("\nsingle-node jobs completed: %d/%zu\n", done,
+                batch.size());
+
+    std::printf("\ncluster mean CPU utilization: %.1f%%\n",
+                100.0 * driver.cpuUsedGrid().overallMean());
+    const core::QuasarStats &stats = quasar_mgr.stats();
+    std::printf("manager: %zu scheduled, %zu adjusted up, %zu out, "
+                "%zu shrinks, %zu rescheduled\n",
+                stats.scheduled, stats.scale_up_adjustments,
+                stats.scale_out_adjustments, stats.shrinks,
+                stats.rescheduled);
+    return 0;
+}

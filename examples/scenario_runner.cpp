@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Configurable scenario runner: a small CLI over the library so new
+ * scenarios can be explored without writing code.
+ *
+ *   scenario_runner [options]
+ *     --manager quasar|ll|paragon|autoscale|framework   (default quasar)
+ *     --cluster local|ec2                               (default local)
+ *     --workloads N        number of submissions        (default 200)
+ *     --arrival-s S        inter-arrival seconds        (default 2)
+ *     --horizon-s S        simulated duration           (default 7200)
+ *     --seed N             RNG seed                     (default 1)
+ *     --heatmap            print the CPU utilization heatmap
+ *
+ * Prints per-type performance against targets, utilization, and
+ * manager activity.
+ */
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "baselines/autoscale.hh"
+#include "baselines/framework_scheduler.hh"
+#include "baselines/paragon.hh"
+#include "baselines/reservation_ll.hh"
+#include "bench/common.hh"
+#include "core/manager.hh"
+#include "driver/scenario.hh"
+
+using namespace quasar;
+using workload::Workload;
+
+namespace
+{
+
+struct Options
+{
+    std::string manager = "quasar";
+    std::string cluster = "local";
+    int workloads = 200;
+    double arrival_s = 2.0;
+    double horizon_s = 7200.0;
+    uint64_t seed = 1;
+    bool heatmap = false;
+};
+
+bool
+parse(int argc, char **argv, Options &opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&](const char *what) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", what);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (a == "--manager") {
+            const char *v = next("--manager");
+            if (!v)
+                return false;
+            opt.manager = v;
+        } else if (a == "--cluster") {
+            const char *v = next("--cluster");
+            if (!v)
+                return false;
+            opt.cluster = v;
+        } else if (a == "--workloads") {
+            const char *v = next("--workloads");
+            if (!v)
+                return false;
+            opt.workloads = std::atoi(v);
+        } else if (a == "--arrival-s") {
+            const char *v = next("--arrival-s");
+            if (!v)
+                return false;
+            opt.arrival_s = std::atof(v);
+        } else if (a == "--horizon-s") {
+            const char *v = next("--horizon-s");
+            if (!v)
+                return false;
+            opt.horizon_s = std::atof(v);
+        } else if (a == "--seed") {
+            const char *v = next("--seed");
+            if (!v)
+                return false;
+            opt.seed = std::strtoull(v, nullptr, 10);
+        } else if (a == "--heatmap") {
+            opt.heatmap = true;
+        } else if (a == "--help" || a == "-h") {
+            return false;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", a.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+std::unique_ptr<driver::ClusterManager>
+makeManager(const Options &opt, sim::Cluster &cluster,
+            workload::WorkloadRegistry &registry)
+{
+    if (opt.manager == "quasar") {
+        core::QuasarConfig cfg;
+        cfg.seed = opt.seed ^ 0xBEEF;
+        auto m = std::make_unique<core::QuasarManager>(cluster, registry,
+                                                       cfg);
+        workload::WorkloadFactory seeder{stats::Rng(opt.seed ^ 0xFEED)};
+        m->seedOffline(seeder, 24);
+        return m;
+    }
+    if (opt.manager == "ll")
+        return std::make_unique<baselines::ReservationLLManager>(
+            cluster, registry, opt.seed);
+    if (opt.manager == "paragon") {
+        auto m = std::make_unique<baselines::ParagonManager>(
+            cluster, registry, opt.seed);
+        workload::WorkloadFactory seeder{stats::Rng(opt.seed ^ 0xFEED)};
+        m->seedOffline(bench::standardSeeds(seeder, 4), 0.0);
+        return m;
+    }
+    if (opt.manager == "autoscale")
+        return std::make_unique<baselines::AutoScaleManager>(
+            cluster, registry, baselines::AutoScaleConfig{}, opt.seed);
+    if (opt.manager == "framework")
+        return std::make_unique<baselines::FrameworkSelfManager>(
+            cluster, registry, opt.seed);
+    return nullptr;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parse(argc, argv, opt)) {
+        std::fprintf(stderr,
+                     "usage: scenario_runner [--manager quasar|ll|"
+                     "paragon|autoscale|framework] [--cluster "
+                     "local|ec2] [--workloads N] [--arrival-s S] "
+                     "[--horizon-s S] [--seed N] [--heatmap]\n");
+        return 2;
+    }
+
+    sim::Cluster cluster = opt.cluster == "ec2"
+                               ? sim::Cluster::ec2Cluster()
+                               : sim::Cluster::localCluster();
+    workload::WorkloadRegistry registry;
+    auto manager = makeManager(opt, cluster, registry);
+    if (!manager) {
+        std::fprintf(stderr, "unknown manager '%s'\n",
+                     opt.manager.c_str());
+        return 2;
+    }
+
+    driver::ScenarioDriver drv(cluster, registry, *manager,
+                               driver::DriverConfig{.tick_s = 10.0,
+                                                    .record_every = 3});
+    workload::WorkloadFactory factory{stats::Rng(opt.seed)};
+    std::vector<WorkloadId> ids;
+    for (int i = 0; i < opt.workloads; ++i) {
+        Workload w =
+            factory.randomWorkload("w" + std::to_string(i));
+        if (w.type == workload::WorkloadType::Analytics)
+            w.target = workload::PerformanceTarget::completionTime(
+                1.5 * bench::sweepBestCompletion(w, cluster.catalog(),
+                                                 4, 4),
+                w.total_work);
+        WorkloadId id = registry.add(w);
+        ids.push_back(id);
+        drv.addArrival(id, opt.arrival_s * double(i + 1));
+    }
+    drv.run(opt.horizon_s);
+
+    std::array<stats::Samples, 4> norm_by_type;
+    std::array<int, 4> count_by_type{};
+    int finished = 0;
+    for (WorkloadId id : ids) {
+        const Workload &w = registry.get(id);
+        ++count_by_type[size_t(w.type)];
+        double norm;
+        if (w.type == workload::WorkloadType::Analytics) {
+            double start = w.first_placed_at >= 0.0 ? w.first_placed_at
+                                                    : w.arrival_time;
+            norm = w.completed ? w.target.completion_time_s /
+                                     (w.completion_time - start)
+                               : w.work_done / w.total_work;
+        } else {
+            norm = drv.meanNormalizedPerf(id);
+        }
+        norm_by_type[size_t(w.type)].add(std::min(norm, 1.25));
+        if (w.completed)
+            ++finished;
+    }
+
+    std::printf("=== %s on the %s cluster: %d workloads over %.0fs "
+                "===\n\n",
+                manager->name().c_str(), opt.cluster.c_str(),
+                opt.workloads, opt.horizon_s);
+    static const char *type_names[4] = {"analytics", "latency",
+                                        "stateful", "single-node"};
+    std::printf("%-12s %8s %12s\n", "type", "count", "perf vs tgt");
+    for (size_t t = 0; t < 4; ++t) {
+        if (count_by_type[t] == 0)
+            continue;
+        std::printf("%-12s %8d %11.0f%%\n", type_names[t],
+                    count_by_type[t],
+                    100.0 * norm_by_type[t].mean());
+    }
+    std::printf("\nfinished: %d / %d (services run indefinitely)\n",
+                finished, opt.workloads);
+    auto means =
+        drv.cpuUsedGrid().windowMeans(opt.horizon_s * 0.1,
+                                      opt.horizon_s * 0.9);
+    double util = 0.0;
+    for (double m : means)
+        util += m;
+    std::printf("mean CPU utilization: %.1f%%\n",
+                100.0 * util / double(means.size()));
+
+    if (opt.heatmap)
+        std::printf("\n%s",
+                    drv.cpuUsedGrid()
+                        .renderHeatmap(0.0, opt.horizon_s, 72)
+                        .c_str());
+    return 0;
+}

@@ -1,0 +1,159 @@
+#include "baselines/autoscale.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace quasar::baselines
+{
+
+using workload::Workload;
+
+AutoScaleManager::AutoScaleManager(sim::Cluster &cluster,
+                                   workload::WorkloadRegistry &registry,
+                                   AutoScaleConfig cfg, uint64_t seed)
+    : cluster_(cluster), registry_(registry), cfg_(cfg), rng_(seed),
+      oracle_(cluster, registry)
+{
+}
+
+double
+AutoScaleManager::observedRho(const Workload &w, double t) const
+{
+    double cap = oracle_.serviceCapacityQps(w, t);
+    if (cap <= 0.0)
+        return 1.0;
+    return std::min(1.5, w.offeredQps(t) / cap);
+}
+
+bool
+AutoScaleManager::addInstance(Workload &w, double t)
+{
+    // Least-loaded server that fits a fixed-size instance; the policy
+    // knows nothing about platform types or co-runner interference.
+    std::vector<std::pair<double, ServerId>> order;
+    for (size_t i = 0; i < cluster_.size(); ++i) {
+        const sim::Server &srv = cluster_.server(ServerId(i));
+        if (srv.hosts(w.id))
+            continue;
+        order.emplace_back(srv.cpuReservedFraction(), ServerId(i));
+    }
+    std::sort(order.begin(), order.end());
+    for (const auto &[load, sid] : order) {
+        sim::Server &srv = cluster_.server(sid);
+        int cores = std::min(cfg_.instance_cores, srv.platform().cores);
+        double mem = std::min(cfg_.instance_memory_gb,
+                              srv.platform().memory_gb);
+        if (!srv.canFit(cores, mem, w.storage_gb_per_node))
+            continue;
+        sim::TaskShare share;
+        share.workload = w.id;
+        share.cores = cores;
+        share.memory_gb = mem;
+        share.storage_gb = w.storage_gb_per_node;
+        share.caused = w.causedPressure(t, cores);
+        share.best_effort = false;
+        srv.place(share);
+        // Stateful services must move shards to the new instance.
+        if (w.type == workload::WorkloadType::StatefulService &&
+            w.state_gb > 0.0) {
+            size_t n = cluster_.serversHosting(w.id).size();
+            double moved = w.state_gb / double(std::max<size_t>(n, 1));
+            w.degraded_until =
+                t + moved / cfg_.migration_gbps;
+            w.degraded_factor = cfg_.migration_factor;
+        }
+        return true;
+    }
+    return false;
+}
+
+void
+AutoScaleManager::removeInstance(Workload &w)
+{
+    auto hosting = cluster_.serversHosting(w.id);
+    if (int(hosting.size()) <= cfg_.min_instances)
+        return;
+    cluster_.server(hosting.back()).remove(w.id);
+}
+
+void
+AutoScaleManager::onSubmit(WorkloadId id, double t)
+{
+    Workload &w = registry_.get(id);
+    if (workload::isLatencyCritical(w.type)) {
+        bool ok = true;
+        for (int i = 0; i < cfg_.min_instances && ok; ++i)
+            ok = addInstance(w, t);
+        if (!ok)
+            queue_.push_back(id);
+        w.last_progress_update = t;
+        return;
+    }
+    // Batch workloads: reservation + least-loaded placement.
+    Reservation res =
+        userReservation(w, cluster_.catalog(), model_, rng_);
+    if (placeLeastLoaded(cluster_, w, t, res, w.best_effort).empty())
+        queue_.push_back(id);
+    else
+        w.last_progress_update = t;
+}
+
+void
+AutoScaleManager::onTick(double t)
+{
+    // Retry queued submissions.
+    std::vector<WorkloadId> still_waiting;
+    for (WorkloadId id : queue_) {
+        Workload &w = registry_.get(id);
+        if (w.completed || w.killed)
+            continue;
+        bool ok;
+        if (workload::isLatencyCritical(w.type)) {
+            ok = addInstance(w, t);
+        } else {
+            Reservation res =
+                userReservation(w, cluster_.catalog(), model_, rng_);
+            ok = !placeLeastLoaded(cluster_, w, t, res, w.best_effort)
+                      .empty();
+        }
+        if (!ok)
+            still_waiting.push_back(id);
+    }
+    queue_ = std::move(still_waiting);
+
+    // Scale services on observed utilization.
+    for (WorkloadId id : registry_.active()) {
+        Workload &w = registry_.get(id);
+        if (!workload::isLatencyCritical(w.type))
+            continue;
+        auto hosting = cluster_.serversHosting(id);
+        if (hosting.empty())
+            continue;
+        double rho = observedRho(w, t);
+        if (rho > cfg_.scale_out_threshold) {
+            if (++hot_streak_[id] >= cfg_.hot_ticks &&
+                int(hosting.size()) < cfg_.max_instances) {
+                addInstance(w, t);
+                hot_streak_[id] = 0;
+            }
+        } else {
+            hot_streak_[id] = 0;
+            if (rho < cfg_.scale_in_threshold)
+                removeInstance(w);
+        }
+    }
+}
+
+void
+AutoScaleManager::onCompletion(WorkloadId, double t)
+{
+    (void)t;
+}
+
+int
+AutoScaleManager::instancesOf(WorkloadId id) const
+{
+    return int(cluster_.serversHosting(id).size());
+}
+
+} // namespace quasar::baselines

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Auto-scaling baseline (paper Figs. 8 and 9): latency-critical
+ * services scale between a minimum and maximum number of fixed-size
+ * instances, adding a least-loaded server when observed utilization
+ * exceeds a threshold (default 70%, as in AWS autoscaling) and
+ * removing one when it falls below a low-water mark. The policy is
+ * reactive, heterogeneity- and interference-unaware, and only scales
+ * out — the weaknesses the paper demonstrates. Non-service workloads
+ * are placed with the least-loaded policy.
+ */
+
+#ifndef QUASAR_BASELINES_AUTOSCALE_HH
+#define QUASAR_BASELINES_AUTOSCALE_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/reservation_ll.hh"
+#include "workload/workload.hh"
+
+namespace quasar::baselines
+{
+
+/** Auto-scaling policy knobs. */
+struct AutoScaleConfig
+{
+    double scale_out_threshold = 0.70; ///< add instance above this rho.
+    double scale_in_threshold = 0.25;  ///< remove instance below.
+    int min_instances = 1;
+    int max_instances = 8;
+    int instance_cores = 8;
+    double instance_memory_gb = 16.0;
+    /** Consecutive hot ticks required before scaling out. */
+    int hot_ticks = 2;
+    /** Migration bandwidth for stateful scale-out, GB/s. */
+    double migration_gbps = 1.0;
+    double migration_factor = 0.85;
+};
+
+/** The auto-scaling manager. */
+class AutoScaleManager : public driver::ClusterManager
+{
+  public:
+    AutoScaleManager(sim::Cluster &cluster,
+                     workload::WorkloadRegistry &registry,
+                     AutoScaleConfig cfg = {}, uint64_t seed = 55);
+
+    void onSubmit(WorkloadId id, double t) override;
+    void onTick(double t) override;
+    void onCompletion(WorkloadId id, double t) override;
+    std::string name() const override { return "autoscale"; }
+
+    /** Current instance count of a service. */
+    int instancesOf(WorkloadId id) const;
+
+  private:
+    bool addInstance(workload::Workload &w, double t);
+    void removeInstance(workload::Workload &w);
+    /** Observed utilization: served load / current capacity. */
+    double observedRho(const workload::Workload &w, double t) const;
+
+    sim::Cluster &cluster_;
+    workload::WorkloadRegistry &registry_;
+    AutoScaleConfig cfg_;
+    stats::Rng rng_;
+    workload::PerfOracle oracle_;
+    std::unordered_map<WorkloadId, int> hot_streak_;
+    std::vector<WorkloadId> queue_;
+    tracegen::ReservationModel model_;
+};
+
+} // namespace quasar::baselines
+
+#endif // QUASAR_BASELINES_AUTOSCALE_HH

@@ -1,0 +1,100 @@
+#include "baselines/framework_scheduler.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace quasar::baselines
+{
+
+using workload::Workload;
+
+workload::FrameworkKnobs
+hadoopDefaultKnobs()
+{
+    workload::FrameworkKnobs k;
+    k.mappers_per_node = 8;
+    k.heap_gb = 1.0;
+    k.block_mb = 64;
+    k.compression = workload::Compression::Lzo;
+    k.replication = 2;
+    return k;
+}
+
+Reservation
+frameworkReservation(const Workload &w)
+{
+    assert(w.type == workload::WorkloadType::Analytics);
+    workload::FrameworkKnobs k = hadoopDefaultKnobs();
+    Reservation res;
+    // One core per mapper slot; memory sized for the mapper heaps.
+    res.cores_per_node = k.mappers_per_node;
+    res.memory_per_node_gb = k.mappers_per_node * k.heap_gb;
+    // Node count grows with dataset size (split-count heuristic).
+    res.nodes = std::clamp(
+        int(std::lround(std::ceil(w.dataset_gb / 15.0))), 2, 12);
+    return res;
+}
+
+FrameworkSelfManager::FrameworkSelfManager(
+    sim::Cluster &cluster, workload::WorkloadRegistry &registry,
+    uint64_t seed)
+    : cluster_(cluster), registry_(registry), rng_(seed)
+{
+}
+
+void
+FrameworkSelfManager::onSubmit(WorkloadId id, double t)
+{
+    const Workload &w = registry_.get(id);
+    if (w.type == workload::WorkloadType::Analytics)
+        reservations_[id] = frameworkReservation(w);
+    else
+        reservations_[id] =
+            userReservation(w, cluster_.catalog(), model_, rng_);
+    if (!tryPlace(id, t))
+        queue_.push_back(id);
+}
+
+bool
+FrameworkSelfManager::tryPlace(WorkloadId id, double t)
+{
+    Workload &w = registry_.get(id);
+    const Reservation &res = reservations_.at(id);
+    // Frameworks choose from all server types indiscriminately.
+    auto used = placeLeastLoaded(cluster_, w, t, res, w.best_effort);
+    if (used.empty())
+        return false;
+    w.active_knobs = hadoopDefaultKnobs();
+    w.last_progress_update = t;
+    return true;
+}
+
+void
+FrameworkSelfManager::onTick(double t)
+{
+    std::vector<WorkloadId> still_waiting;
+    for (WorkloadId id : queue_) {
+        const Workload &w = registry_.get(id);
+        if (w.completed || w.killed)
+            continue;
+        if (!tryPlace(id, t))
+            still_waiting.push_back(id);
+    }
+    queue_ = std::move(still_waiting);
+}
+
+void
+FrameworkSelfManager::onCompletion(WorkloadId, double t)
+{
+    onTick(t);
+}
+
+const Reservation *
+FrameworkSelfManager::reservationFor(WorkloadId id) const
+{
+    auto it = reservations_.find(id);
+    return it == reservations_.end() ? nullptr : &it->second;
+}
+
+} // namespace quasar::baselines

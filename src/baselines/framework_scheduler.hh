@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Framework self-scheduler baseline (paper Figs. 5-7, Table 3): each
+ * analytics framework (Hadoop/Storm/Spark) sizes its own job from
+ * dataset-driven heuristics with default knob settings, and picks
+ * servers without regard to platform type or interference — the
+ * behaviour the paper attributes to built-in framework schedulers.
+ */
+
+#ifndef QUASAR_BASELINES_FRAMEWORK_SCHEDULER_HH
+#define QUASAR_BASELINES_FRAMEWORK_SCHEDULER_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/reservation_ll.hh"
+
+namespace quasar::baselines
+{
+
+/** Hadoop's default tuning (paper Table 3, "Hadoop" column). */
+workload::FrameworkKnobs hadoopDefaultKnobs();
+
+/**
+ * The reservation a framework derives for its own job: node count
+ * from the dataset size, fixed per-node slots (mappers x 1 core),
+ * memory from mappers x heapsize.
+ */
+Reservation frameworkReservation(const workload::Workload &w);
+
+/** Framework self-scheduling manager. */
+class FrameworkSelfManager : public driver::ClusterManager
+{
+  public:
+    FrameworkSelfManager(sim::Cluster &cluster,
+                         workload::WorkloadRegistry &registry,
+                         uint64_t seed = 66);
+
+    void onSubmit(WorkloadId id, double t) override;
+    void onTick(double t) override;
+    void onCompletion(WorkloadId id, double t) override;
+    std::string name() const override { return "framework-schedulers"; }
+
+    const Reservation *reservationFor(WorkloadId id) const;
+
+  private:
+    bool tryPlace(WorkloadId id, double t);
+
+    sim::Cluster &cluster_;
+    workload::WorkloadRegistry &registry_;
+    stats::Rng rng_;
+    tracegen::ReservationModel model_;
+    std::unordered_map<WorkloadId, Reservation> reservations_;
+    std::vector<WorkloadId> queue_;
+};
+
+} // namespace quasar::baselines
+
+#endif // QUASAR_BASELINES_FRAMEWORK_SCHEDULER_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reservation + Paragon baseline (paper Fig. 11): resource allocation
+ * still comes from user/framework reservations, but resource
+ * *assignment* uses Paragon-style CF classification — servers are
+ * ranked by heterogeneity (platform) affinity and interference fit,
+ * and workloads are placed so co-runners tolerate each other. No
+ * allocation sizing, no knob tuning, no runtime rightsizing: exactly
+ * the capability gap the paper attributes to assignment-only systems.
+ */
+
+#ifndef QUASAR_BASELINES_PARAGON_HH
+#define QUASAR_BASELINES_PARAGON_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/classifier.hh"
+#include "baselines/reservation_ll.hh"
+
+namespace quasar::baselines
+{
+
+/** Reservation allocation + Paragon CF assignment. */
+class ParagonManager : public driver::ClusterManager
+{
+  public:
+    ParagonManager(sim::Cluster &cluster,
+                   workload::WorkloadRegistry &registry,
+                   uint64_t seed = 88,
+                   tracegen::ReservationModel model = {});
+
+    /** Anchor the classifier with offline-profiled seed workloads. */
+    void seedOffline(const std::vector<workload::Workload> &seeds,
+                     double t = 0.0);
+
+    void onSubmit(WorkloadId id, double t) override;
+    void onTick(double t) override;
+    void onCompletion(WorkloadId id, double t) override;
+    std::string name() const override { return "reservation+paragon"; }
+
+    const core::WorkloadEstimate *estimateFor(WorkloadId id) const;
+
+  private:
+    bool tryPlace(WorkloadId id, double t);
+
+    sim::Cluster &cluster_;
+    workload::WorkloadRegistry &registry_;
+    tracegen::ReservationModel model_;
+    profiling::Profiler profiler_;
+    core::Classifier classifier_;
+    stats::Rng rng_;
+    std::unordered_map<WorkloadId, Reservation> reservations_;
+    std::unordered_map<WorkloadId, core::WorkloadEstimate> estimates_;
+    std::vector<WorkloadId> queue_;
+};
+
+} // namespace quasar::baselines
+
+#endif // QUASAR_BASELINES_PARAGON_HH

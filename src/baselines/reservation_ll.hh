@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Reservation-based allocation + least-loaded assignment: the
+ * conventional cluster manager Quasar is compared against (paper
+ * Figs. 1 and 11).
+ *
+ * Users/frameworks submit resource reservations derived from their own
+ * (imperfect) understanding of the workload: a true need estimated
+ * from a mid-tier platform, multiplied by the Fig. 1d reservation
+ * error distribution. Assignment packs reservations onto the
+ * least-loaded servers with no heterogeneity or interference
+ * awareness, and never adapts at runtime.
+ */
+
+#ifndef QUASAR_BASELINES_RESERVATION_LL_HH
+#define QUASAR_BASELINES_RESERVATION_LL_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "driver/cluster_manager.hh"
+#include "sim/cluster.hh"
+#include "stats/rng.hh"
+#include "tracegen/reservation_model.hh"
+#include "workload/workload.hh"
+
+namespace quasar::baselines
+{
+
+/** A user/framework resource reservation. */
+struct Reservation
+{
+    int nodes = 1;
+    int cores_per_node = 1;
+    double memory_per_node_gb = 1.0;
+};
+
+/**
+ * The right-sized allocation a perfectly informed user would request:
+ * sized on a mid-tier platform to just meet the target.
+ */
+Reservation trueNeed(const workload::Workload &w,
+                     const std::vector<sim::Platform> &catalog);
+
+/**
+ * What the user actually reserves: the true need distorted by the
+ * reservation error model (70% over-size up to 10x, 20% under-size).
+ */
+Reservation userReservation(const workload::Workload &w,
+                            const std::vector<sim::Platform> &catalog,
+                            const tracegen::ReservationModel &model,
+                            stats::Rng &rng);
+
+/**
+ * Least-loaded placement: fill `nodes` shares of (cores, memory) on
+ * the servers with the lowest allocated-core fraction.
+ * @return ids of servers used (possibly fewer than requested).
+ */
+std::vector<ServerId>
+placeLeastLoaded(sim::Cluster &cluster, const workload::Workload &w,
+                 double t, const Reservation &res, bool best_effort);
+
+/** Reservation + least-loaded manager. */
+class ReservationLLManager : public driver::ClusterManager
+{
+  public:
+    ReservationLLManager(sim::Cluster &cluster,
+                         workload::WorkloadRegistry &registry,
+                         uint64_t seed = 77,
+                         tracegen::ReservationModel model = {});
+
+    void onSubmit(WorkloadId id, double t) override;
+    void onTick(double t) override;
+    void onCompletion(WorkloadId id, double t) override;
+    std::string name() const override { return "reservation+LL"; }
+
+    /** Reservation recorded for a workload (after error model). */
+    const Reservation *reservationFor(WorkloadId id) const;
+
+    size_t queuedCount() const { return queue_.size(); }
+
+  private:
+    bool tryPlace(WorkloadId id, double t);
+
+    sim::Cluster &cluster_;
+    workload::WorkloadRegistry &registry_;
+    tracegen::ReservationModel model_;
+    stats::Rng rng_;
+    std::unordered_map<WorkloadId, Reservation> reservations_;
+    std::vector<WorkloadId> queue_;
+};
+
+} // namespace quasar::baselines
+
+#endif // QUASAR_BASELINES_RESERVATION_LL_HH

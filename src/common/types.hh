@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Small shared identifiers used across modules.
+ */
+
+#ifndef QUASAR_COMMON_TYPES_HH
+#define QUASAR_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace quasar
+{
+
+/** Unique workload identifier assigned at submission. */
+using WorkloadId = uint64_t;
+
+/** Sentinel for "no workload". */
+constexpr WorkloadId kInvalidWorkload = ~0ULL;
+
+/** Server index within a cluster. */
+using ServerId = uint32_t;
+
+/** Simulated time in seconds. */
+using SimTime = double;
+
+} // namespace quasar
+
+#endif // QUASAR_COMMON_TYPES_HH

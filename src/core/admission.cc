@@ -1,0 +1,71 @@
+#include "core/admission.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace quasar::core
+{
+
+void
+AdmissionQueue::enqueue(WorkloadId id, double t)
+{
+    // Re-enqueue after a failed retry keeps the original wait start.
+    for (const Entry &e : in_retry_) {
+        if (e.id == id) {
+            pending_.push_back(e);
+            in_retry_.erase(
+                std::remove_if(in_retry_.begin(), in_retry_.end(),
+                               [id](const Entry &x) {
+                                   return x.id == id;
+                               }),
+                in_retry_.end());
+            return;
+        }
+    }
+    assert(!contains(id));
+    pending_.push_back({id, t});
+}
+
+std::vector<WorkloadId>
+AdmissionQueue::drainForRetry()
+{
+    in_retry_ = pending_;
+    pending_.clear();
+    std::vector<WorkloadId> out;
+    out.reserve(in_retry_.size());
+    for (const Entry &e : in_retry_)
+        out.push_back(e.id);
+    return out;
+}
+
+void
+AdmissionQueue::admitted(WorkloadId id, double t)
+{
+    auto it = std::find_if(in_retry_.begin(), in_retry_.end(),
+                           [id](const Entry &e) { return e.id == id; });
+    if (it == in_retry_.end()) {
+        it = std::find_if(pending_.begin(), pending_.end(),
+                          [id](const Entry &e) { return e.id == id; });
+        if (it == pending_.end())
+            return; // was never queued; zero wait
+        waits_.add(t - it->enqueued_at);
+        pending_.erase(it);
+        return;
+    }
+    waits_.add(t - it->enqueued_at);
+    in_retry_.erase(it);
+}
+
+bool
+AdmissionQueue::contains(WorkloadId id) const
+{
+    for (const Entry &e : pending_)
+        if (e.id == id)
+            return true;
+    for (const Entry &e : in_retry_)
+        if (e.id == id)
+            return true;
+    return false;
+}
+
+} // namespace quasar::core

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Admission control (paper Secs. 3.3 and 5): when the scheduler cannot
+ * find resources for a workload, it waits in a pending queue instead
+ * of oversubscribing machines. Wait time counts toward scheduling
+ * overheads.
+ */
+
+#ifndef QUASAR_CORE_ADMISSION_HH
+#define QUASAR_CORE_ADMISSION_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "stats/summary.hh"
+
+namespace quasar::core
+{
+
+/** FIFO pending queue with wait-time accounting. */
+class AdmissionQueue
+{
+  public:
+    /** Add a workload that could not be placed. */
+    void enqueue(WorkloadId id, double t);
+
+    bool empty() const { return pending_.empty(); }
+    size_t size() const { return pending_.size(); }
+
+    /**
+     * Remove and return all pending workloads in FIFO order for a
+     * retry pass; re-enqueue the ones that still do not fit.
+     */
+    std::vector<WorkloadId> drainForRetry();
+
+    /** Record a successful admission at time t (closes wait timing). */
+    void admitted(WorkloadId id, double t);
+
+    /** Whether a workload is currently queued. */
+    bool contains(WorkloadId id) const;
+
+    /** Wait-time statistics over all admitted workloads. */
+    const stats::Samples &waitTimes() const { return waits_; }
+    double totalWait() const { return waits_.values().empty()
+                                        ? 0.0
+                                        : waits_.mean() *
+                                              double(waits_.count()); }
+
+  private:
+    struct Entry
+    {
+        WorkloadId id;
+        double enqueued_at;
+    };
+    std::vector<Entry> pending_;
+    std::vector<Entry> in_retry_;
+    stats::Samples waits_;
+};
+
+} // namespace quasar::core
+
+#endif // QUASAR_CORE_ADMISSION_HH

@@ -1,0 +1,77 @@
+#include "core/estimate.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace quasar::core
+{
+
+double
+WorkloadEstimate::nodePerf(size_t platform_idx, size_t col) const
+{
+    assert(col < scale_up_perf.size());
+    assert(platform_idx < platform_factor.size());
+    if (!cross_perf.empty()) {
+        size_t idx = platform_idx * scale_up_perf.size() + col;
+        assert(idx < cross_perf.size());
+        return std::max(0.0, cross_perf[idx]);
+    }
+    return std::max(0.0, scale_up_perf[col]) *
+           std::max(0.0, platform_factor[platform_idx]);
+}
+
+double
+WorkloadEstimate::scaleOutSpeedupAt(int nodes) const
+{
+    assert(nodes >= 1);
+    if (scale_out_grid.empty())
+        return nodes == 1 ? 1.0 : 0.0;
+    if (nodes <= scale_out_grid.front())
+        return std::max(0.0, scale_out_speedup.front());
+    if (nodes >= scale_out_grid.back())
+        return std::max(0.0, scale_out_speedup.back());
+    for (size_t i = 1; i < scale_out_grid.size(); ++i) {
+        if (nodes <= scale_out_grid[i]) {
+            double n0 = scale_out_grid[i - 1], n1 = scale_out_grid[i];
+            double s0 = std::max(1e-9, scale_out_speedup[i - 1]);
+            double s1 = std::max(1e-9, scale_out_speedup[i]);
+            // Log-linear interpolation in node count.
+            double f = (std::log(double(nodes)) - std::log(n0)) /
+                       (std::log(n1) - std::log(n0));
+            return std::exp(std::log(s0) +
+                            f * (std::log(s1) - std::log(s0)));
+        }
+    }
+    return std::max(0.0, scale_out_speedup.back());
+}
+
+double
+WorkloadEstimate::interferenceMultiplier(
+    const interference::IVector &contention, double slope_guess) const
+{
+    double m = 1.0;
+    for (size_t i = 0; i < interference::kNumSources; ++i) {
+        double excess = contention[i] - tolerated[i];
+        if (excess > 0.0)
+            m *= std::max(0.05, 1.0 - slope_guess * excess);
+    }
+    return m;
+}
+
+double
+WorkloadEstimate::jobPerf(const std::vector<double> &node_perfs) const
+{
+    if (node_perfs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double p : node_perfs)
+        sum += p;
+    int n = int(node_perfs.size());
+    // scaleOutSpeedupAt(n) is the predicted speedup of n equal nodes
+    // over one; the efficiency factor is speedup / n.
+    double eff = scaleOutSpeedupAt(n) / double(n);
+    return sum * eff;
+}
+
+} // namespace quasar::core

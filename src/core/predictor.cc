@@ -1,0 +1,41 @@
+#include "core/predictor.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace quasar::core
+{
+
+void
+LoadPredictor::observe(double t, double value)
+{
+    if (count_ == 0) {
+        level_ = value;
+        trend_ = 0.0;
+        last_t_ = t;
+        ++count_;
+        return;
+    }
+    double dt = std::max(t - last_t_, 1e-9);
+    // Forecast to the observation time, then blend the error in.
+    double forecast = level_ + trend_ * dt;
+    double new_level = alpha_ * value + (1.0 - alpha_) * forecast;
+    double implied_trend = (new_level - level_) / dt;
+    trend_ = beta_ * implied_trend + (1.0 - beta_) * trend_;
+    level_ = new_level;
+    last_t_ = t;
+    ++count_;
+}
+
+double
+LoadPredictor::predict(double t_future) const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (!warmedUp())
+        return std::max(level_, 0.0);
+    double dt = t_future - last_t_;
+    return std::max(level_ + trend_ * dt, 0.0);
+}
+
+} // namespace quasar::core

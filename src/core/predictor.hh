@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Load prediction for user-facing services (paper Sec. 4.1 lists
+ * PRESS/AGILE-style predictors as future work): Holt's linear
+ * exponential smoothing over irregularly sampled load observations.
+ * The manager uses the forecast as an additional sizing signal so
+ * capacity is grown *before* a load ramp arrives rather than after
+ * the monitor notices the miss.
+ */
+
+#ifndef QUASAR_CORE_PREDICTOR_HH
+#define QUASAR_CORE_PREDICTOR_HH
+
+#include <cstddef>
+
+namespace quasar::core
+{
+
+/** Holt's level+trend smoother with time-aware updates. */
+class LoadPredictor
+{
+  public:
+    /**
+     * @param alpha level smoothing factor in (0, 1].
+     * @param beta trend smoothing factor in (0, 1].
+     */
+    explicit LoadPredictor(double alpha = 0.4, double beta = 0.2)
+        : alpha_(alpha), beta_(beta) {}
+
+    /** Feed one observation; t must be non-decreasing. */
+    void observe(double t, double value);
+
+    /**
+     * Forecast the load at an absolute future time (clamped at 0).
+     * Before warm-up (fewer than 3 observations) returns the last
+     * value seen.
+     */
+    double predict(double t_future) const;
+
+    /** True once enough observations arrived to trust the trend. */
+    bool warmedUp() const { return count_ >= 3; }
+
+    double level() const { return level_; }
+    /** Trend in load units per second. */
+    double trendPerSecond() const { return trend_; }
+    size_t observations() const { return count_; }
+
+  private:
+    double alpha_;
+    double beta_;
+    double level_ = 0.0;
+    double trend_ = 0.0;
+    double last_t_ = 0.0;
+    size_t count_ = 0;
+};
+
+} // namespace quasar::core
+
+#endif // QUASAR_CORE_PREDICTOR_HH

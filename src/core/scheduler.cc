@@ -1,0 +1,407 @@
+#include "core/scheduler.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace quasar::core
+{
+
+using workload::FrameworkKnobs;
+using workload::Workload;
+
+int
+Allocation::totalCores() const
+{
+    int n = 0;
+    for (const AllocationNode &node : nodes)
+        n += node.cores;
+    return n;
+}
+
+double
+Allocation::totalMemoryGb() const
+{
+    double m = 0.0;
+    for (const AllocationNode &node : nodes)
+        m += node.memory_gb;
+    return m;
+}
+
+namespace
+{
+
+/** Map platform names to catalog indices for a cluster. */
+std::unordered_map<std::string, size_t>
+platformIndex(const sim::Cluster &cluster)
+{
+    std::unordered_map<std::string, size_t> idx;
+    const auto &catalog = cluster.catalog();
+    for (size_t i = 0; i < catalog.size(); ++i)
+        idx[catalog[i].name] = i;
+    return idx;
+}
+
+/** Evictable capacity on a server under a given predicate. */
+struct Evictable
+{
+    int cores = 0;
+    double memory_gb = 0.0;
+    double storage_gb = 0.0;
+};
+
+template <typename Pred>
+Evictable
+evictableCapacity(const sim::Server &srv, Pred pred)
+{
+    Evictable e;
+    for (const sim::TaskShare &t : srv.tasks()) {
+        if (pred(t)) {
+            e.cores += t.cores;
+            e.memory_gb += t.memory_gb;
+            e.storage_gb += t.storage_gb;
+        }
+    }
+    return e;
+}
+
+} // namespace
+
+bool
+GreedyScheduler::evictable(const sim::TaskShare &victim,
+                           const workload::Workload &w) const
+{
+    if (victim.best_effort)
+        return true;
+    // Priority preemption (Sec. 4.4): only with registry access, and
+    // only for strictly lower priority.
+    if (!registry_ || !registry_->contains(victim.workload))
+        return false;
+    return registry_->get(victim.workload).priority < w.priority;
+}
+
+double
+GreedyScheduler::serverQuality(const sim::Server &srv,
+                               const WorkloadEstimate &est) const
+{
+    // Quality = platform speedup x predicted interference multiplier.
+    auto map = platformIndex(cluster_);
+    auto it = map.find(srv.platform().name);
+    assert(it != map.end());
+    double pf = est.platform_factor[it->second];
+    double im = est.interferenceMultiplier(srv.contentionForNewcomer(),
+                                           cfg_.slope_guess);
+    return pf * im;
+}
+
+GreedyScheduler::NodePick
+GreedyScheduler::pickNodeConfig(const sim::Server &srv, const Workload &w,
+                                const WorkloadEstimate &est,
+                                bool count_evictable,
+                                double perf_needed) const
+{
+    NodePick pick;
+    auto map = platformIndex(cluster_);
+    size_t p_idx = map.at(srv.platform().name);
+
+    int free_cores = srv.coresFree();
+    double free_mem = srv.memoryFree();
+    double free_storage = srv.storageFree();
+    if (count_evictable) {
+        Evictable e = evictableCapacity(
+            srv, [&](const sim::TaskShare &t) {
+                return evictable(t, w);
+            });
+        free_cores += e.cores;
+        free_mem += e.memory_gb;
+        free_storage += e.storage_gb;
+    }
+    if (free_cores < 1 || free_storage < w.storage_gb_per_node)
+        return pick;
+
+    double interf = est.interferenceMultiplier(
+        srv.contentionForNewcomer(), cfg_.slope_guess);
+
+    // Scan feasible columns for the best achievable node perf.
+    double best_perf = 0.0;
+    for (size_t c = 0; c < est.scale_up_grid.size(); ++c) {
+        const auto &cfg = est.scale_up_grid[c];
+        if (cfg.cores > free_cores || cfg.memory_gb > free_mem + 1e-9)
+            continue;
+        best_perf = std::max(best_perf,
+                             est.nodePerf(p_idx, c) * interf);
+    }
+    if (best_perf <= 0.0)
+        return pick;
+
+    // Right-size: the cheapest column whose predicted perf reaches the
+    // goal (the residual target, capped by what the server can give).
+    double goal = std::min(best_perf, perf_needed);
+    if (!cfg_.scale_up_first) {
+        // Scale-out-first ablation: spread small slices across nodes.
+        goal = std::min(goal, 0.35 * best_perf);
+    }
+    double threshold = cfg_.node_perf_slack * goal;
+
+    bool found = false;
+    for (size_t c = 0; c < est.scale_up_grid.size(); ++c) {
+        const auto &cfg = est.scale_up_grid[c];
+        if (cfg.cores > free_cores || cfg.memory_gb > free_mem + 1e-9)
+            continue;
+        double perf = est.nodePerf(p_idx, c) * interf;
+        if (perf + 1e-12 < threshold)
+            continue;
+        bool better;
+        if (!found) {
+            better = true;
+        } else if (cfg.cores != pick.cores) {
+            better = cfg.cores < pick.cores;
+        } else if (cfg.memory_gb != pick.memory_gb) {
+            better = cfg.memory_gb < pick.memory_gb;
+        } else {
+            better = perf > pick.perf;
+        }
+        if (better) {
+            pick.col = c;
+            pick.cores = cfg.cores;
+            pick.memory_gb = cfg.memory_gb;
+            pick.perf = perf;
+            found = true;
+        }
+    }
+    pick.valid = found;
+    return pick;
+}
+
+bool
+GreedyScheduler::residentsTolerate(const sim::Server &srv,
+                                   const WorkloadEstimate &est,
+                                   double cores,
+                                   const EstimateLookup &estimates) const
+{
+    if (!estimates)
+        return true;
+    const auto &cap = srv.platform().contention_capacity;
+    interference::IVector added;
+    for (size_t i = 0; i < interference::kNumSources; ++i)
+        added[i] = cap[i] > 0.0
+                       ? est.caused_per_core[i] * cores / cap[i]
+                       : 0.0;
+    for (const sim::TaskShare &t : srv.tasks()) {
+        if (t.best_effort)
+            continue; // evictable anyway; protected residents only
+        const WorkloadEstimate *res = estimates(t.workload);
+        if (!res)
+            continue;
+        interference::IVector now = srv.contentionFor(t.workload);
+        double loss = 1.0;
+        for (size_t i = 0; i < interference::kNumSources; ++i) {
+            double excess = now[i] + added[i] - res->tolerated[i];
+            if (excess > 0.0)
+                loss *= std::max(0.05,
+                                 1.0 - cfg_.slope_guess * excess);
+        }
+        if (1.0 - loss > cfg_.max_resident_loss)
+            return false;
+    }
+    return true;
+}
+
+std::optional<Allocation>
+GreedyScheduler::allocate(const Workload &w, const WorkloadEstimate &est,
+                          double required_perf,
+                          const EstimateLookup &estimates,
+                          bool may_evict) const
+{
+    assert(est.scale_up_grid.size() == est.scale_up_perf.size());
+    const double target = std::max(required_perf, 1e-9) * cfg_.headroom;
+    const int max_nodes =
+        workload::isDistributed(w.type)
+            ? std::min<int>(cfg_.max_nodes, int(cluster_.size()))
+            : 1;
+
+    // Rank candidate servers by decreasing quality.
+    std::vector<std::pair<double, ServerId>> ranked;
+    ranked.reserve(cluster_.size());
+    for (size_t i = 0; i < cluster_.size(); ++i) {
+        const sim::Server &srv = cluster_.server(ServerId(i));
+        int free = srv.coresFree();
+        if (may_evict)
+            free += evictableCapacity(srv, [&](const sim::TaskShare &t) {
+                        return evictable(t, w);
+                    }).cores;
+        if (free < 1)
+            continue;
+        ranked.emplace_back(serverQuality(srv, est), ServerId(i));
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const auto &a,
+                                               const auto &b) {
+        if (a.first != b.first)
+            return a.first > b.first;
+        return a.second < b.second;
+    });
+
+    Allocation alloc;
+    std::vector<double> node_perfs;
+    const FrameworkKnobs *knob_filter = nullptr;
+    FrameworkKnobs chosen_knobs;
+    double cost_so_far = 0.0;
+    std::vector<char> zone_used(
+        size_t(std::max(cluster_.numFaultZones(), 1)), 0);
+
+    // With fault-zone spreading the ranked list is walked twice: the
+    // first pass only takes servers in fresh zones; the second pass
+    // relaxes the constraint if the target is still unmet.
+    std::vector<std::pair<double, ServerId>> walk = ranked;
+    if (cfg_.spread_fault_zones) {
+        walk.clear();
+        for (const auto &e : ranked)
+            walk.push_back(e);
+        for (const auto &e : ranked)
+            walk.push_back(e);
+    }
+
+    size_t walk_pos = 0;
+    for (; walk_pos < walk.size(); ++walk_pos) {
+        const auto &[quality, sid] = walk[walk_pos];
+        if (int(alloc.nodes.size()) >= max_nodes)
+            break;
+        double predicted = est.jobPerf(node_perfs);
+        if (predicted >= target)
+            break;
+
+        const sim::Server &srv = cluster_.server(sid);
+        if (srv.hosts(w.id))
+            continue;
+        bool already_chosen = false;
+        for (const AllocationNode &n : alloc.nodes)
+            already_chosen = already_chosen || n.server == sid;
+        if (already_chosen)
+            continue;
+        if (cfg_.spread_fault_zones && walk_pos < ranked.size() &&
+            zone_used[size_t(srv.faultZone())])
+            continue; // first pass: fresh zones only
+        // Per-node perf needed to close the gap if this node joins.
+        int n_next = int(node_perfs.size()) + 1;
+        double eff = est.scaleOutSpeedupAt(n_next) / double(n_next);
+        double sum_now = 0.0;
+        for (double v : node_perfs)
+            sum_now += v;
+        double needed =
+            eff > 0.0 ? target / eff - sum_now
+                      : std::numeric_limits<double>::infinity();
+        needed = std::max(needed, 1e-9);
+
+        NodePick pick = pickNodeConfig(srv, w, est, may_evict, needed);
+        if (!pick.valid)
+            continue;
+        if (knob_filter &&
+            !(est.scale_up_grid[pick.col].knobs == *knob_filter)) {
+            // Keep one knob setting across the job: re-scan restricted
+            // to matching columns by rejecting mismatches.
+            bool fixed = false;
+            for (size_t c = 0; c < est.scale_up_grid.size(); ++c) {
+                const auto &cfg = est.scale_up_grid[c];
+                if (!(cfg.knobs == *knob_filter))
+                    continue;
+                if (cfg.cores != pick.cores ||
+                    cfg.memory_gb != pick.memory_gb)
+                    continue;
+                pick.col = c;
+                auto map = platformIndex(cluster_);
+                double interf = est.interferenceMultiplier(
+                    srv.contentionForNewcomer(), cfg_.slope_guess);
+                pick.perf =
+                    est.nodePerf(map.at(srv.platform().name), c) *
+                    interf;
+                fixed = true;
+                break;
+            }
+            if (!fixed)
+                continue;
+        }
+        if (!residentsTolerate(srv, est, pick.cores, estimates))
+            continue;
+
+        // Diminishing returns: when this node's marginal contribution
+        // falls well below what it would deliver standalone, the
+        // scale-out knee has passed and further servers are wasted
+        // (checked before planning evictions so no one is evicted for
+        // a node that is never placed).
+        if (!node_perfs.empty() && pick.perf > 0.0) {
+            std::vector<double> with_node = node_perfs;
+            with_node.push_back(pick.perf);
+            double gain =
+                est.jobPerf(with_node) - est.jobPerf(node_perfs);
+            if (gain < cfg_.min_marginal_efficiency * pick.perf)
+                break;
+        }
+
+        // Plan evictions when the raw free capacity is insufficient.
+        if (may_evict && (pick.cores > srv.coresFree() ||
+                          pick.memory_gb > srv.memoryFree() + 1e-9)) {
+            int need_cores = pick.cores - srv.coresFree();
+            double need_mem = pick.memory_gb - srv.memoryFree();
+            // Evict best-effort first, then ascending priority, and
+            // larger shares before smaller ones.
+            std::vector<const sim::TaskShare *> be;
+            for (const sim::TaskShare &t : srv.tasks())
+                if (evictable(t, w))
+                    be.push_back(&t);
+            auto prio = [&](const sim::TaskShare *t) {
+                if (t->best_effort || !registry_ ||
+                    !registry_->contains(t->workload))
+                    return std::numeric_limits<int>::min();
+                return registry_->get(t->workload).priority;
+            };
+            std::sort(be.begin(), be.end(),
+                      [&](const auto *a, const auto *b) {
+                          if (prio(a) != prio(b))
+                              return prio(a) < prio(b);
+                          return a->cores > b->cores;
+                      });
+            for (const sim::TaskShare *t : be) {
+                if (need_cores <= 0 && need_mem <= 1e-9)
+                    break;
+                alloc.evictions.emplace_back(sid, t->workload);
+                need_cores -= t->cores;
+                need_mem -= t->memory_gb;
+            }
+            if (need_cores > 0 || need_mem > 1e-9)
+                continue; // still does not fit
+        }
+
+        // Cost target (Sec. 4.4): never exceed the spending cap.
+        if (w.cost_cap_per_hour > 0.0) {
+            double node_cost = srv.platform().cost_per_hour *
+                               double(pick.cores) /
+                               double(srv.platform().cores);
+            if (cost_so_far + node_cost > w.cost_cap_per_hour)
+                continue;
+            cost_so_far += node_cost;
+        }
+
+        if (alloc.nodes.empty()) {
+            chosen_knobs = est.scale_up_grid[pick.col].knobs;
+            if (w.type == workload::WorkloadType::Analytics)
+                knob_filter = &chosen_knobs;
+        }
+        alloc.nodes.push_back({sid, pick.col, pick.cores,
+                               pick.memory_gb, pick.perf});
+        node_perfs.push_back(pick.perf);
+        zone_used[size_t(srv.faultZone())] = 1;
+    }
+
+    if (alloc.nodes.empty())
+        return std::nullopt;
+
+    alloc.knobs = chosen_knobs;
+    alloc.predicted_perf = est.jobPerf(node_perfs);
+    alloc.degraded = alloc.predicted_perf + 1e-9 <
+                     required_perf * cfg_.headroom * cfg_.node_perf_slack;
+    return alloc;
+}
+
+} // namespace quasar::core

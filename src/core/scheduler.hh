@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Greedy joint resource allocation and assignment (paper Sec. 3.3).
+ *
+ * Using the classification output, the scheduler ranks available
+ * servers by resource quality (platform speedup x predicted
+ * interference multiplier), then sizes the allocation against the
+ * performance target: per-node resources first (scale-up), then more
+ * nodes (scale-out), taking the highest-quality servers first so the
+ * least total resources are used. Interference awareness is two-sided:
+ * the candidate must tolerate the server's current contention, and the
+ * server's residents must tolerate the candidate's caused pressure.
+ * Best-effort residents may be marked for eviction to make room for
+ * primary workloads.
+ */
+
+#ifndef QUASAR_CORE_SCHEDULER_HH
+#define QUASAR_CORE_SCHEDULER_HH
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/estimate.hh"
+#include "sim/cluster.hh"
+#include "workload/workload.hh"
+
+namespace quasar::core
+{
+
+/** One node of an allocation decision. */
+struct AllocationNode
+{
+    ServerId server = 0;
+    size_t scale_up_col = 0; ///< column in the estimate's grid.
+    int cores = 0;
+    double memory_gb = 0.0;
+    double predicted_node_perf = 0.0;
+};
+
+/** A complete allocation + assignment decision. */
+struct Allocation
+{
+    std::vector<AllocationNode> nodes;
+    workload::FrameworkKnobs knobs;
+    double predicted_perf = 0.0;
+    /** Best-effort tasks that must be evicted first. */
+    std::vector<std::pair<ServerId, WorkloadId>> evictions;
+    /** True when the target could not be fully met with free capacity. */
+    bool degraded = false;
+
+    int totalCores() const;
+    double totalMemoryGb() const;
+};
+
+/** Scheduler policy knobs (ablations flagged in DESIGN.md). */
+struct SchedulerConfig
+{
+    /** Pack per-node resources before adding nodes (paper default). */
+    bool scale_up_first = true;
+    /** Multiplier on the target so small estimate errors don't miss. */
+    double headroom = 1.1;
+    /** Max nodes per workload. */
+    int max_nodes = 100;
+    /** Assumed degradation slope beyond tolerated thresholds. */
+    double slope_guess = 1.5;
+    /** Keep per-node configs within this fraction of the best one. */
+    double node_perf_slack = 0.95;
+    /**
+     * Stop adding nodes when a node's marginal contribution to the
+     * job drops below this fraction of its standalone performance —
+     * beyond the scale-out knee extra servers are wasted even if the
+     * target is unmet ("least amount of resources", Sec. 3.3).
+     */
+    double min_marginal_efficiency = 0.40;
+    /** Refuse placements predicted to lose residents more than this. */
+    double max_resident_loss = 0.10;
+    /**
+     * Spread multi-node allocations across fault zones (Sec. 4.4):
+     * prefer servers in zones the allocation does not use yet.
+     */
+    bool spread_fault_zones = false;
+};
+
+/**
+ * Lookup for the estimates of currently-placed workloads (needed for
+ * the caused-interference check against residents).
+ */
+using EstimateLookup =
+    std::function<const WorkloadEstimate *(WorkloadId)>;
+
+/** The greedy joint allocator/assigner. */
+class GreedyScheduler
+{
+  public:
+    /**
+     * @param registry optional: when provided, placements may evict
+     *        residents of strictly lower priority (Sec. 4.4), not just
+     *        best-effort tasks.
+     */
+    GreedyScheduler(const sim::Cluster &cluster, SchedulerConfig cfg = {},
+                    const workload::WorkloadRegistry *registry = nullptr)
+        : cluster_(cluster), cfg_(cfg), registry_(registry) {}
+
+    /**
+     * Find an allocation meeting required_perf (absolute units
+     * matching the estimate: rate for batch, capacity QPS for
+     * services).
+     *
+     * @param w the workload being placed.
+     * @param est its classification output.
+     * @param required_perf performance the allocation must reach.
+     * @param estimates lookup for residents' estimates (may be null).
+     * @param may_evict allow evicting best-effort residents.
+     * @return nullopt when nothing at all can be placed; otherwise an
+     *         allocation, possibly flagged degraded.
+     */
+    std::optional<Allocation>
+    allocate(const workload::Workload &w, const WorkloadEstimate &est,
+             double required_perf, const EstimateLookup &estimates,
+             bool may_evict) const;
+
+    /**
+     * Server quality score used for ranking (platform factor x
+     * predicted interference multiplier x free-capacity factor).
+     */
+    double serverQuality(const sim::Server &srv,
+                         const WorkloadEstimate &est) const;
+
+    const SchedulerConfig &config() const { return cfg_; }
+
+  private:
+    struct NodePick
+    {
+        size_t col = 0;
+        int cores = 0;
+        double memory_gb = 0.0;
+        double perf = 0.0;
+        bool valid = false;
+    };
+
+    /**
+     * Best per-node configuration on a server given free resources
+     * (optionally counting evictable best-effort shares as free).
+     */
+    NodePick pickNodeConfig(const sim::Server &srv,
+                            const workload::Workload &w,
+                            const WorkloadEstimate &est,
+                            bool count_evictable,
+                            double perf_needed) const;
+
+    /**
+     * Check that placing `cores` of w on srv does not push residents
+     * beyond their tolerated contention (returns false on violation).
+     */
+    bool residentsTolerate(const sim::Server &srv,
+                           const WorkloadEstimate &est, double cores,
+                           const EstimateLookup &estimates) const;
+
+    /** True when victim may be evicted to make room for w. */
+    bool evictable(const sim::TaskShare &victim,
+                   const workload::Workload &w) const;
+
+    const sim::Cluster &cluster_;
+    SchedulerConfig cfg_;
+    const workload::WorkloadRegistry *registry_;
+};
+
+} // namespace quasar::core
+
+#endif // QUASAR_CORE_SCHEDULER_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Interface every cluster manager implements — Quasar and all the
+ * baseline managers (reservation + least-loaded, reservation + Paragon,
+ * auto-scaling, framework self-schedulers). The ScenarioDriver calls
+ * these hooks as simulated time advances.
+ */
+
+#ifndef QUASAR_DRIVER_CLUSTER_MANAGER_HH
+#define QUASAR_DRIVER_CLUSTER_MANAGER_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace quasar::driver
+{
+
+/** Callbacks a manager receives from the scenario driver. */
+class ClusterManager
+{
+  public:
+    virtual ~ClusterManager() = default;
+
+    /** A workload has arrived and awaits placement. */
+    virtual void onSubmit(WorkloadId id, double t) = 0;
+
+    /** Periodic monitoring/adaptation hook. */
+    virtual void onTick(double t) = 0;
+
+    /** A workload finished and was removed from the cluster. */
+    virtual void onCompletion(WorkloadId id, double t) = 0;
+
+    /** Human-readable name for reports. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace quasar::driver
+
+#endif // QUASAR_DRIVER_CLUSTER_MANAGER_HH

@@ -1,0 +1,165 @@
+#include "driver/scenario.hh"
+
+#include <cassert>
+
+#include "workload/queueing.hh"
+
+namespace quasar::driver
+{
+
+using workload::Workload;
+
+ScenarioDriver::ScenarioDriver(sim::Cluster &cluster,
+                               workload::WorkloadRegistry &registry,
+                               ClusterManager &manager, DriverConfig cfg)
+    : cluster_(cluster), registry_(registry), manager_(manager),
+      cfg_(cfg), oracle_(cluster, registry), cpu_used_(cluster.size()),
+      cpu_reserved_(cluster.size()), mem_used_(cluster.size()),
+      storage_used_(cluster.size())
+{
+    assert(cfg_.tick_s > 0.0);
+}
+
+void
+ScenarioDriver::addArrival(WorkloadId id, double t)
+{
+    assert(registry_.contains(id));
+    events_.schedule(t, [this, id, t]() {
+        Workload &w = registry_.get(id);
+        w.arrival_time = t;
+        w.last_progress_update = t;
+        manager_.onSubmit(id, t);
+    });
+}
+
+void
+ScenarioDriver::run(double until)
+{
+    run_until_ = until;
+    events_.scheduleAfter(cfg_.tick_s, [this]() { tick(); });
+    events_.run(until);
+}
+
+void
+ScenarioDriver::completeWorkload(Workload &w, double at)
+{
+    w.completed = true;
+    w.completion_time = at;
+    cluster_.removeEverywhere(w.id);
+    manager_.onCompletion(w.id, at);
+}
+
+void
+ScenarioDriver::tick()
+{
+    const double t = events_.now();
+    ++ticks_;
+
+    // 1. Integrate batch progress / sample service QoS.
+    for (WorkloadId id : registry_.active()) {
+        Workload &w = registry_.get(id);
+        bool placed = !cluster_.serversHosting(id).empty();
+        if (placed && w.first_placed_at < 0.0)
+            w.first_placed_at = w.last_progress_update;
+
+        if (workload::isLatencyCritical(w.type)) {
+            double offered = w.offeredQps(t);
+            double cap =
+                placed ? oracle_.serviceCapacityQps(w, t) : 0.0;
+            double ok_cap = workload::maxQpsWithinQos(
+                cap, w.target.latency_qos_s);
+            ServiceTrace &trace = service_traces_[id];
+            if (ticks_ % cfg_.record_every == 0) {
+                trace.offered_qps.record(t, offered);
+                trace.served_qps.record(
+                    t, workload::servedQps(offered, cap));
+                trace.served_ok_qps.record(
+                    t, workload::servedQps(offered, ok_cap));
+                trace.p99_latency.record(
+                    t, workload::percentileLatency(offered, cap));
+                trace.qos_fraction.record(
+                    t, workload::fractionMeetingQos(
+                           offered, cap, w.target.latency_qos_s));
+            }
+        } else {
+            if (!placed) {
+                w.last_progress_update = t;
+            } else {
+                double rate = oracle_.currentRate(w, t);
+                double dt = t - w.last_progress_update;
+                double remaining = w.total_work - w.work_done;
+                if (rate > 0.0 && rate * dt >= remaining) {
+                    double at =
+                        w.last_progress_update + remaining / rate;
+                    w.work_done = w.total_work;
+                    completeWorkload(w, at);
+                    continue;
+                }
+                w.work_done += rate * dt;
+                w.last_progress_update = t;
+            }
+        }
+
+        if (placed && !w.best_effort)
+            norm_perf_[id].add(oracle_.normalizedPerformance(w, t));
+    }
+
+    // 2. Refresh measured usage on every server for utilization
+    // accounting.
+    for (size_t s = 0; s < cluster_.size(); ++s) {
+        sim::Server &srv = cluster_.server(ServerId(s));
+        // Copy ids first: setUsage mutates shares in place only.
+        for (const sim::TaskShare &share : srv.tasks()) {
+            const Workload &w = registry_.get(share.workload);
+            srv.setUsage(share.workload,
+                         oracle_.usedCores(w, share, t));
+        }
+    }
+
+    // 3. Record utilization series.
+    if (ticks_ % cfg_.record_every == 0) {
+        for (size_t s = 0; s < cluster_.size(); ++s) {
+            const sim::Server &srv = cluster_.server(ServerId(s));
+            cpu_used_.record(s, t, srv.cpuUtilization());
+            cpu_reserved_.record(s, t, srv.cpuReservedFraction());
+            mem_used_.record(s, t, srv.memoryUtilization());
+            storage_used_.record(s, t, srv.storageUtilization());
+        }
+        sim::ClusterSnapshot snap = cluster_.snapshot();
+        agg_cpu_used_.record(t, snap.cpu_used);
+        agg_cpu_reserved_.record(t, snap.cpu_reserved);
+        agg_mem_used_.record(t, snap.mem_used);
+    }
+
+    // 4. Manager adaptation hook.
+    manager_.onTick(t);
+    if (tick_hook_)
+        tick_hook_(t);
+
+    // 5. Next tick.
+    if (t + cfg_.tick_s <= run_until_)
+        events_.scheduleAfter(cfg_.tick_s, [this]() { tick(); });
+}
+
+double
+ScenarioDriver::meanNormalizedPerf(WorkloadId id) const
+{
+    auto it = norm_perf_.find(id);
+    return it == norm_perf_.end() ? 0.0 : it->second.mean();
+}
+
+const ServiceTrace *
+ScenarioDriver::serviceTrace(WorkloadId id) const
+{
+    auto it = service_traces_.find(id);
+    return it == service_traces_.end() ? nullptr : &it->second;
+}
+
+double
+ScenarioDriver::completionTime(WorkloadId id) const
+{
+    const Workload &w = registry_.get(id);
+    return w.completed ? w.completion_time : -1.0;
+}
+
+} // namespace quasar::driver

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Scenario driver: the simulation harness every experiment runs on.
+ *
+ * Owns the event queue and advances a cluster + workload registry +
+ * manager through a scenario: workload arrivals, periodic ticks that
+ * integrate batch progress (fluid model), service load evolution,
+ * completions, and utilization/performance recording for the paper's
+ * figures.
+ */
+
+#ifndef QUASAR_DRIVER_SCENARIO_HH
+#define QUASAR_DRIVER_SCENARIO_HH
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "driver/cluster_manager.hh"
+#include "sim/cluster.hh"
+#include "sim/event_queue.hh"
+#include "stats/summary.hh"
+#include "stats/timeseries.hh"
+#include "workload/workload.hh"
+
+namespace quasar::driver
+{
+
+/** Driver knobs. */
+struct DriverConfig
+{
+    /** Progress-integration / monitoring tick, seconds. */
+    double tick_s = 10.0;
+    /** Record utilization series every this many ticks. */
+    size_t record_every = 1;
+};
+
+/** Per-service tracking for throughput/latency figures. */
+struct ServiceTrace
+{
+    stats::TimeSeries offered_qps;
+    stats::TimeSeries served_qps;     ///< throughput within capacity.
+    stats::TimeSeries served_ok_qps;  ///< throughput also within QoS.
+    stats::TimeSeries p99_latency;
+    stats::TimeSeries qos_fraction;   ///< fraction of queries in QoS.
+};
+
+/** Drives one scenario run. */
+class ScenarioDriver
+{
+  public:
+    ScenarioDriver(sim::Cluster &cluster,
+                   workload::WorkloadRegistry &registry,
+                   ClusterManager &manager, DriverConfig cfg = {});
+
+    /** Schedule a workload arrival (workload already registered). */
+    void addArrival(WorkloadId id, double t);
+
+    /** Run until the given time (events stop firing after it). */
+    void run(double until);
+
+    /**
+     * Install a callback invoked at the end of every tick (after
+     * progress integration and recording) — benches use it to sample
+     * experiment-specific state such as per-workload core counts.
+     */
+    void setTickHook(std::function<void(double)> hook)
+    {
+        tick_hook_ = std::move(hook);
+    }
+
+    sim::EventQueue &events() { return events_; }
+    double now() const { return events_.now(); }
+
+    /** @name Recorded results */
+    /// @{
+    const stats::UtilizationGrid &cpuUsedGrid() const
+    {
+        return cpu_used_;
+    }
+    const stats::UtilizationGrid &cpuReservedGrid() const
+    {
+        return cpu_reserved_;
+    }
+    const stats::UtilizationGrid &memGrid() const { return mem_used_; }
+    const stats::UtilizationGrid &storageGrid() const
+    {
+        return storage_used_;
+    }
+    const stats::TimeSeries &aggCpuUsed() const { return agg_cpu_used_; }
+    const stats::TimeSeries &aggCpuReserved() const
+    {
+        return agg_cpu_reserved_;
+    }
+    const stats::TimeSeries &aggMemUsed() const { return agg_mem_used_; }
+
+    /** Mean normalized performance of a workload over its lifetime. */
+    double meanNormalizedPerf(WorkloadId id) const;
+
+    /** Per-service traces (only latency-critical workloads appear). */
+    const ServiceTrace *serviceTrace(WorkloadId id) const;
+
+    /** Completion time of a batch workload (-1 if not finished). */
+    double completionTime(WorkloadId id) const;
+    /// @}
+
+  private:
+    void tick();
+    void completeWorkload(workload::Workload &w, double at);
+
+    sim::Cluster &cluster_;
+    workload::WorkloadRegistry &registry_;
+    ClusterManager &manager_;
+    DriverConfig cfg_;
+    sim::EventQueue events_;
+    workload::PerfOracle oracle_;
+
+    stats::UtilizationGrid cpu_used_;
+    stats::UtilizationGrid cpu_reserved_;
+    stats::UtilizationGrid mem_used_;
+    stats::UtilizationGrid storage_used_;
+    stats::TimeSeries agg_cpu_used_;
+    stats::TimeSeries agg_cpu_reserved_;
+    stats::TimeSeries agg_mem_used_;
+
+    std::function<void(double)> tick_hook_;
+    std::map<WorkloadId, stats::Accumulator> norm_perf_;
+    std::map<WorkloadId, ServiceTrace> service_traces_;
+    size_t ticks_ = 0;
+    double run_until_ = 0.0;
+};
+
+} // namespace quasar::driver
+
+#endif // QUASAR_DRIVER_SCENARIO_HH

@@ -1,0 +1,37 @@
+#include "interference/microbench.hh"
+
+#include <algorithm>
+
+namespace quasar::interference
+{
+
+IVector
+Microbenchmark::caused() const
+{
+    IVector v = zeroVector();
+    v[static_cast<size_t>(source)] = intensity;
+    return v;
+}
+
+double
+probeToleratedIntensity(
+    const std::function<double(const IVector &)> &perf_at, Source source,
+    double qos_loss, double step)
+{
+    const double base = perf_at(zeroVector());
+    if (base <= 0.0)
+        return 0.0;
+    const double limit = (1.0 - qos_loss) * base;
+
+    Microbenchmark mb{source, 0.0};
+    double tolerated = 0.0;
+    for (double i = step; i <= 1.0 + 1e-9; i += step) {
+        mb.intensity = std::min(i, 1.0);
+        if (perf_at(mb.caused()) < limit)
+            return tolerated;
+        tolerated = mb.intensity;
+    }
+    return 1.0;
+}
+
+} // namespace quasar::interference

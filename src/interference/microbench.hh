@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Synthetic contentious microbenchmarks (the iBench analog of the
+ * paper). A microbenchmark stresses exactly one shared resource at a
+ * tunable intensity; the interference classifier and the phase/straggler
+ * detectors inject them next to a workload and ramp the intensity until
+ * the workload's performance drops below the QoS threshold.
+ */
+
+#ifndef QUASAR_INTERFERENCE_MICROBENCH_HH
+#define QUASAR_INTERFERENCE_MICROBENCH_HH
+
+#include <functional>
+
+#include "interference/source.hh"
+
+namespace quasar::interference
+{
+
+/** A single-resource contentious kernel at a given intensity. */
+struct Microbenchmark
+{
+    Source source = Source::MemoryBw;
+    double intensity = 0.0; ///< pressure injected, in [0, 1].
+
+    /** Pressure vector this kernel adds to a server. */
+    IVector caused() const;
+};
+
+/**
+ * Ramp a microbenchmark's intensity against a live measurement until
+ * performance drops by qos_loss relative to the undisturbed run, and
+ * report the last tolerated intensity.
+ *
+ * @param perf_at callback returning workload performance when the
+ *                given pressure vector is injected next to it.
+ * @param source resource to stress.
+ * @param qos_loss acceptable fractional loss (paper: 5%).
+ * @param step intensity ramp granularity.
+ * @return highest intensity with perf >= (1 - qos_loss) * base, in
+ *         [0, 1]; 1.0 when the workload never degrades.
+ */
+double probeToleratedIntensity(
+    const std::function<double(const IVector &)> &perf_at, Source source,
+    double qos_loss = 0.05, double step = 0.02);
+
+} // namespace quasar::interference
+
+#endif // QUASAR_INTERFERENCE_MICROBENCH_HH

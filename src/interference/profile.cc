@@ -1,0 +1,43 @@
+#include "interference/profile.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace quasar::interference
+{
+
+double
+SensitivityProfile::sourceMultiplier(Source s, double c) const
+{
+    size_t i = static_cast<size_t>(s);
+    double excess = std::max(0.0, c - threshold[i]);
+    double m = 1.0 - slope[i] * excess;
+    return std::clamp(m, floor, 1.0);
+}
+
+double
+SensitivityProfile::multiplier(const IVector &contention) const
+{
+    double m = 1.0;
+    for (size_t i = 0; i < kNumSources; ++i)
+        m *= sourceMultiplier(sourceAt(i), contention[i]);
+    return std::max(m, floor);
+}
+
+double
+SensitivityProfile::toleratedIntensity(Source s, double qos_loss) const
+{
+    size_t i = static_cast<size_t>(s);
+    if (slope[i] <= 0.0)
+        return 1.0;
+    double intensity = threshold[i] + qos_loss / slope[i];
+    return std::clamp(intensity, 0.0, 1.0);
+}
+
+IVector
+SensitivityProfile::causedAt(double cores) const
+{
+    return scale(caused_per_core, cores);
+}
+
+} // namespace quasar::interference

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Per-workload interference behaviour: the pressure a workload causes
+ * in each shared resource and the contention it tolerates before its
+ * performance degrades.
+ *
+ * The paper's interference classification records, per source, the
+ * microbenchmark intensity at which workload performance drops below an
+ * acceptable QoS level (typically 5%). That "tolerated intensity" is
+ * exactly what SensitivityProfile::toleratedIntensity computes from the
+ * underlying ground-truth threshold/slope model.
+ */
+
+#ifndef QUASAR_INTERFERENCE_PROFILE_HH
+#define QUASAR_INTERFERENCE_PROFILE_HH
+
+#include "interference/source.hh"
+
+namespace quasar::interference
+{
+
+/**
+ * Ground-truth interference behaviour of one workload. Performance
+ * multiplier per source is 1 up to the tolerance threshold and then
+ * degrades linearly with contention, down to a floor:
+ *
+ *   m_r(C) = clamp(1 - slope_r * max(0, C_r - threshold_r), floor, 1)
+ *
+ * The total multiplier is the product over sources.
+ */
+struct SensitivityProfile
+{
+    /** Contention level where degradation begins, per source. */
+    IVector threshold{};
+    /** Perf loss per unit of excess contention, per source. */
+    IVector slope{};
+    /** Pressure caused per allocated core, per source. */
+    IVector caused_per_core{};
+    /** Lowest possible multiplier (workload never fully stops). */
+    double floor = 0.05;
+
+    /** Multiplier for one source at contention c. */
+    double sourceMultiplier(Source s, double c) const;
+
+    /** Combined multiplier under a full contention vector. */
+    double multiplier(const IVector &contention) const;
+
+    /**
+     * Intensity at which performance drops by qos_loss (default 5%),
+     * i.e. what interference classification records. Clamped to
+     * [0, 1]; 1 means "insensitive at any intensity".
+     */
+    double toleratedIntensity(Source s, double qos_loss = 0.05) const;
+
+    /** Pressure vector caused when running with the given cores. */
+    IVector causedAt(double cores) const;
+};
+
+} // namespace quasar::interference
+
+#endif // QUASAR_INTERFERENCE_PROFILE_HH

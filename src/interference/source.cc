@@ -1,0 +1,51 @@
+#include "interference/source.hh"
+
+#include <cassert>
+
+namespace quasar::interference
+{
+
+IVector
+zeroVector()
+{
+    IVector v{};
+    v.fill(0.0);
+    return v;
+}
+
+IVector
+add(const IVector &a, const IVector &b)
+{
+    IVector out;
+    for (size_t i = 0; i < kNumSources; ++i)
+        out[i] = a[i] + b[i];
+    return out;
+}
+
+IVector
+scale(const IVector &a, double k)
+{
+    IVector out;
+    for (size_t i = 0; i < kNumSources; ++i)
+        out[i] = a[i] * k;
+    return out;
+}
+
+const std::string &
+sourceName(Source s)
+{
+    static const std::array<std::string, kNumSources> names = {
+        "memory", "l1i", "llc", "disk", "network", "l2", "cpu",
+        "prefetch",
+    };
+    return names[static_cast<size_t>(s)];
+}
+
+Source
+sourceAt(size_t i)
+{
+    assert(i < kNumSources);
+    return static_cast<Source>(i);
+}
+
+} // namespace quasar::interference

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared-resource interference sources.
+ *
+ * Mirrors the paper's Table 1 interference patterns (A = none, then
+ * memory bandwidth, L1 instruction cache, last-level cache, disk I/O,
+ * network, L2 cache, CPU, and prefetchers). Contention on each source
+ * is expressed as a pressure in [0, 1+] where 1.0 means the resource is
+ * fully saturated by co-runners.
+ */
+
+#ifndef QUASAR_INTERFERENCE_SOURCE_HH
+#define QUASAR_INTERFERENCE_SOURCE_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace quasar::interference
+{
+
+/** The shared resources a co-runner can contend on. */
+enum class Source : size_t
+{
+    MemoryBw = 0,
+    L1ICache,
+    LLCache,
+    DiskIO,
+    Network,
+    L2Cache,
+    Cpu,
+    Prefetch,
+};
+
+/** Number of interference sources (Table 1 patterns B-I). */
+constexpr size_t kNumSources = 8;
+
+/** One pressure/sensitivity value per source. */
+using IVector = std::array<double, kNumSources>;
+
+/** Zero-initialized vector. */
+IVector zeroVector();
+
+/** Element-wise sum. */
+IVector add(const IVector &a, const IVector &b);
+
+/** Element-wise scale. */
+IVector scale(const IVector &a, double k);
+
+/** Human-readable source name ("memory", "l1i", ...). */
+const std::string &sourceName(Source s);
+
+/** Source by index with bounds checking. */
+Source sourceAt(size_t i);
+
+} // namespace quasar::interference
+
+#endif // QUASAR_INTERFERENCE_SOURCE_HH

@@ -1,0 +1,40 @@
+#include "linalg/completion.hh"
+
+#include <cassert>
+
+namespace quasar::linalg
+{
+
+Matrix
+MatrixCompletion::complete(const MaskedMatrix &a) const
+{
+    PqModel model(cfg_);
+    model.fit(a);
+    Matrix out = model.reconstruct();
+    // Observed entries are measurements; keep them exact.
+    for (size_t r = 0; r < a.rows(); ++r)
+        for (size_t c = 0; c < a.cols(); ++c)
+            if (a.observed(r, c))
+                out.at(r, c) = a.value(r, c);
+    return out;
+}
+
+std::vector<double>
+MatrixCompletion::completeRow(const MaskedMatrix &reference,
+                              const std::vector<size_t> &observed_cols,
+                              const std::vector<double> &observed_vals) const
+{
+    assert(observed_cols.size() == observed_vals.size());
+    // Fit the latent-factor model on the history matrix, then fold the
+    // sparse new row in with the item factors fixed: far more stable
+    // for a 2-entry row than joint refitting, and cheaper.
+    PqModel model(cfg_);
+    model.fit(reference);
+    std::vector<std::pair<size_t, double>> observed;
+    observed.reserve(observed_cols.size());
+    for (size_t i = 0; i < observed_cols.size(); ++i)
+        observed.emplace_back(observed_cols[i], observed_vals[i]);
+    return model.foldInRow(observed);
+}
+
+} // namespace quasar::linalg

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Matrix-completion driver: the bridge between raw profiling samples
+ * and dense performance estimates. Wraps SVD-seeded PQ-reconstruction
+ * and preserves observed entries verbatim in the output (profiled
+ * values are ground truth to the scheduler; only missing entries are
+ * estimated).
+ */
+
+#ifndef QUASAR_LINALG_COMPLETION_HH
+#define QUASAR_LINALG_COMPLETION_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hh"
+#include "linalg/pq_model.hh"
+
+namespace quasar::linalg
+{
+
+/** Completes masked matrices with collaborative filtering. */
+class MatrixCompletion
+{
+  public:
+    explicit MatrixCompletion(PqConfig cfg = {}) : cfg_(cfg) {}
+
+    /**
+     * Fill every unobserved entry of a; observed entries pass through
+     * unchanged.
+     */
+    Matrix complete(const MaskedMatrix &a) const;
+
+    /**
+     * Estimate the full row for a new workload given a reference
+     * matrix of previously-scheduled workloads.
+     *
+     * @param reference history matrix (rows = workloads).
+     * @param observed_cols column indices sampled by profiling.
+     * @param observed_vals corresponding measurements.
+     * @return dense estimated row of reference.cols() values.
+     */
+    std::vector<double>
+    completeRow(const MaskedMatrix &reference,
+                const std::vector<size_t> &observed_cols,
+                const std::vector<double> &observed_vals) const;
+
+    const PqConfig &config() const { return cfg_; }
+
+  private:
+    PqConfig cfg_;
+};
+
+} // namespace quasar::linalg
+
+#endif // QUASAR_LINALG_COMPLETION_HH

@@ -1,0 +1,162 @@
+#include "linalg/matrix.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace quasar::linalg
+{
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+Matrix
+Matrix::multiply(const Matrix &other) const
+{
+    assert(cols_ == other.rows_);
+    Matrix out(rows_, other.cols_);
+    for (size_t i = 0; i < rows_; ++i) {
+        for (size_t k = 0; k < cols_; ++k) {
+            double a = at(i, k);
+            if (a == 0.0)
+                continue;
+            for (size_t j = 0; j < other.cols_; ++j)
+                out.at(i, j) += a * other.at(k, j);
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::transpose() const
+{
+    Matrix out(cols_, rows_);
+    for (size_t i = 0; i < rows_; ++i)
+        for (size_t j = 0; j < cols_; ++j)
+            out.at(j, i) = at(i, j);
+    return out;
+}
+
+double
+Matrix::frobeniusNorm() const
+{
+    double s = 0.0;
+    for (double x : data_)
+        s += x * x;
+    return std::sqrt(s);
+}
+
+std::vector<double>
+Matrix::column(size_t c) const
+{
+    std::vector<double> v(rows_);
+    for (size_t i = 0; i < rows_; ++i)
+        v[i] = at(i, c);
+    return v;
+}
+
+std::vector<double>
+Matrix::row(size_t r) const
+{
+    std::vector<double> v(cols_);
+    for (size_t j = 0; j < cols_; ++j)
+        v[j] = at(r, j);
+    return v;
+}
+
+void
+Matrix::setRow(size_t r, const std::vector<double> &v)
+{
+    assert(v.size() == cols_);
+    for (size_t j = 0; j < cols_; ++j)
+        at(r, j) = v[j];
+}
+
+double
+Matrix::maxAbsDiff(const Matrix &other) const
+{
+    assert(rows_ == other.rows_ && cols_ == other.cols_);
+    double m = 0.0;
+    for (size_t i = 0; i < data_.size(); ++i)
+        m = std::max(m, std::fabs(data_[i] - other.data_[i]));
+    return m;
+}
+
+MaskedMatrix::MaskedMatrix(size_t rows, size_t cols)
+    : values_(rows, cols), mask_(rows * cols, 0)
+{
+}
+
+void
+MaskedMatrix::set(size_t r, size_t c, double v)
+{
+    assert(r < rows() && c < cols());
+    size_t idx = r * cols() + c;
+    if (!mask_[idx]) {
+        mask_[idx] = 1;
+        ++num_observed_;
+    }
+    values_.at(r, c) = v;
+}
+
+void
+MaskedMatrix::clear(size_t r, size_t c)
+{
+    size_t idx = r * cols() + c;
+    if (mask_[idx]) {
+        mask_[idx] = 0;
+        --num_observed_;
+    }
+    values_.at(r, c) = 0.0;
+}
+
+bool
+MaskedMatrix::observed(size_t r, size_t c) const
+{
+    return mask_[r * cols() + c] != 0;
+}
+
+double
+MaskedMatrix::value(size_t r, size_t c) const
+{
+    return values_.at(r, c);
+}
+
+size_t
+MaskedMatrix::observedInRow(size_t r) const
+{
+    size_t n = 0;
+    for (size_t c = 0; c < cols(); ++c)
+        if (observed(r, c))
+            ++n;
+    return n;
+}
+
+double
+MaskedMatrix::observedMean() const
+{
+    if (num_observed_ == 0)
+        return 0.0;
+    double s = 0.0;
+    for (size_t r = 0; r < rows(); ++r)
+        for (size_t c = 0; c < cols(); ++c)
+            if (observed(r, c))
+                s += value(r, c);
+    return s / double(num_observed_);
+}
+
+size_t
+MaskedMatrix::appendRow()
+{
+    size_t r = rows();
+    Matrix next(r + 1, cols());
+    for (size_t i = 0; i < r; ++i)
+        for (size_t j = 0; j < cols(); ++j)
+            next.at(i, j) = values_.at(i, j);
+    values_ = std::move(next);
+    mask_.resize((r + 1) * cols(), 0);
+    return r;
+}
+
+} // namespace quasar::linalg

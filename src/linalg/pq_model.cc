@@ -1,0 +1,269 @@
+#include "linalg/pq_model.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <random>
+
+#include "linalg/svd.hh"
+
+namespace quasar::linalg
+{
+
+void
+PqModel::fit(const MaskedMatrix &a)
+{
+    rows_ = a.rows();
+    cols_ = a.cols();
+    const size_t k = std::max<size_t>(
+        1, std::min({cfg_.rank, rows_, cols_}));
+
+    mu_ = a.observedMean();
+    row_bias_.assign(rows_, 0.0);
+    col_bias_.assign(cols_, 0.0);
+
+    // Initialize biases from shrunk column and row means so the
+    // population's average response shape lives in the biases and the
+    // latent factors only carry per-row deviation. Without this, a
+    // high-rank fit on few dense rows absorbs the column structure
+    // into the factors, and folded-in rows (whose factors are shrunk
+    // by ridge) degenerate toward a flat prediction.
+    {
+        std::vector<double> col_sum(cols_, 0.0);
+        std::vector<size_t> col_n(cols_, 0);
+        for (size_t r = 0; r < rows_; ++r)
+            for (size_t c = 0; c < cols_; ++c)
+                if (a.observed(r, c)) {
+                    col_sum[c] += a.value(r, c) - mu_;
+                    ++col_n[c];
+                }
+        for (size_t c = 0; c < cols_; ++c)
+            col_bias_[c] = col_sum[c] / (double(col_n[c]) + 3.0);
+        std::vector<double> row_sum(rows_, 0.0);
+        std::vector<size_t> row_n(rows_, 0);
+        for (size_t r = 0; r < rows_; ++r)
+            for (size_t c = 0; c < cols_; ++c)
+                if (a.observed(r, c)) {
+                    row_sum[r] += a.value(r, c) - mu_ - col_bias_[c];
+                    ++row_n[r];
+                }
+        for (size_t r = 0; r < rows_; ++r)
+            row_bias_[r] = row_sum[r] / (double(row_n[r]) + 3.0);
+    }
+
+    // Seed factors from the SVD of the fully-debiased residual with
+    // unobserved entries at zero (paper: P^T = Sigma V^T, Q = U).
+    Matrix centered(rows_, cols_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            if (a.observed(r, c))
+                centered.at(r, c) = a.value(r, c) - mu_ -
+                                    row_bias_[r] - col_bias_[c];
+    // Jacobi is exact but O(m n^2); fall back to randomized truncated
+    // SVD for the wide matrices of the exhaustive classification.
+    SvdResult s = (cols_ > 64 || rows_ * cols_ > 20000)
+                      ? randomizedSvd(centered, k, 2, cfg_.seed)
+                      : svd(centered, k);
+
+    // Split the singular values symmetrically (Q = U sqrt(S),
+    // P = V sqrt(S)); the paper's asymmetric split (P^T = S V^T)
+    // reconstructs identically but leaves P entries of magnitude
+    // sigma_1, which makes the first SGD steps unstable.
+    q_ = Matrix(rows_, k);
+    p_ = Matrix(cols_, k);
+    for (size_t f = 0; f < s.rank(); ++f) {
+        double root = std::sqrt(std::max(s.singular[f], 0.0));
+        for (size_t r = 0; r < rows_; ++r)
+            q_.at(r, f) = s.u.at(r, f) * root;
+        for (size_t c = 0; c < cols_; ++c)
+            p_.at(c, f) = s.v.at(c, f) * root;
+    }
+
+    // Collect observed entries once.
+    struct Entry { size_t r, c; double v; };
+    std::vector<Entry> entries;
+    entries.reserve(a.numObserved());
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            if (a.observed(r, c))
+                entries.push_back({r, c, a.value(r, c)});
+
+    if (entries.empty()) {
+        train_rmse_ = 0.0;
+        epochs_run_ = 0;
+        return;
+    }
+
+    std::mt19937_64 rng(cfg_.seed);
+    double eta = cfg_.learning_rate;
+    const double lambda = cfg_.regularization;
+    double prev_rmse = std::numeric_limits<double>::infinity();
+
+    for (epochs_run_ = 0; epochs_run_ < cfg_.max_epochs; ++epochs_run_) {
+        std::shuffle(entries.begin(), entries.end(), rng);
+        double sq = 0.0;
+        bool diverged = false;
+        for (const Entry &e : entries) {
+            double dot = 0.0;
+            for (size_t f = 0; f < k; ++f)
+                dot += q_.at(e.r, f) * p_.at(e.c, f);
+            if (!std::isfinite(dot)) {
+                diverged = true;
+                break;
+            }
+            double eps = e.v - mu_ - row_bias_[e.r] -
+                         col_bias_[e.c] - dot;
+            // Clip pathological residuals so a bad step cannot blow
+            // the factors up (SGD with a too-large eta diverges).
+            eps = std::clamp(eps, -1e3, 1e3);
+            sq += eps * eps;
+            row_bias_[e.r] += eta * (eps - lambda * row_bias_[e.r]);
+            col_bias_[e.c] += eta * (eps - lambda * col_bias_[e.c]);
+            for (size_t f = 0; f < k; ++f) {
+                double qv = q_.at(e.r, f);
+                double pv = p_.at(e.c, f);
+                q_.at(e.r, f) = qv + eta * (eps * pv - lambda * qv);
+                p_.at(e.c, f) = pv + eta * (eps * qv - lambda * pv);
+            }
+        }
+        double rmse = std::sqrt(sq / double(entries.size()));
+        if (diverged || !std::isfinite(rmse)) {
+            // Divergence: restart from small random factors with a
+            // much gentler learning rate.
+            std::normal_distribution<double> g(0.0, 0.01);
+            for (size_t r = 0; r < rows_; ++r)
+                for (size_t f = 0; f < k; ++f)
+                    q_.at(r, f) = g(rng);
+            for (size_t c = 0; c < cols_; ++c)
+                for (size_t f = 0; f < k; ++f)
+                    p_.at(c, f) = g(rng);
+            std::fill(row_bias_.begin(), row_bias_.end(), 0.0);
+            std::fill(col_bias_.begin(), col_bias_.end(), 0.0);
+            eta *= 0.3;
+            prev_rmse = std::numeric_limits<double>::infinity();
+            continue;
+        }
+        train_rmse_ = rmse;
+        if (rmse > prev_rmse * 1.02)
+            eta = std::max(eta * 0.7,
+                           cfg_.learning_rate / 20.0); // overshooting
+        if (std::fabs(prev_rmse - rmse) < cfg_.tolerance)
+            break;
+        prev_rmse = rmse;
+    }
+}
+
+double
+PqModel::predict(size_t r, size_t c) const
+{
+    assert(r < rows_ && c < cols_);
+    double dot = 0.0;
+    for (size_t f = 0; f < q_.cols(); ++f)
+        dot += q_.at(r, f) * p_.at(c, f);
+    return mu_ + row_bias_[r] + col_bias_[c] + dot;
+}
+
+namespace
+{
+
+/** Solve the k x k SPD system a * x = b in place (Gaussian elim). */
+std::vector<double>
+solveSmall(std::vector<std::vector<double>> a, std::vector<double> b)
+{
+    const size_t k = b.size();
+    for (size_t i = 0; i < k; ++i) {
+        // Partial pivot.
+        size_t piv = i;
+        for (size_t r = i + 1; r < k; ++r)
+            if (std::fabs(a[r][i]) > std::fabs(a[piv][i]))
+                piv = r;
+        std::swap(a[i], a[piv]);
+        std::swap(b[i], b[piv]);
+        double d = a[i][i];
+        if (std::fabs(d) < 1e-12)
+            continue;
+        for (size_t r = i + 1; r < k; ++r) {
+            double f = a[r][i] / d;
+            if (f == 0.0)
+                continue;
+            for (size_t c = i; c < k; ++c)
+                a[r][c] -= f * a[i][c];
+            b[r] -= f * b[i];
+        }
+    }
+    std::vector<double> x(k, 0.0);
+    for (size_t ii = k; ii-- > 0;) {
+        double acc = b[ii];
+        for (size_t c = ii + 1; c < k; ++c)
+            acc -= a[ii][c] * x[c];
+        x[ii] = std::fabs(a[ii][ii]) < 1e-12 ? 0.0 : acc / a[ii][ii];
+    }
+    return x;
+}
+
+} // namespace
+
+std::vector<double>
+PqModel::foldInRow(
+    const std::vector<std::pair<size_t, double>> &observed) const
+{
+    const size_t k = q_.cols();
+    std::vector<double> qu(k, 0.0);
+    double bu = 0.0;
+    const double lambda =
+        std::max(cfg_.fold_in_regularization, 1e-4);
+    const double lambda_b = 1.0;
+
+    for (int iter = 0; iter < 20; ++iter) {
+        // Bias given factors.
+        double acc = 0.0;
+        for (const auto &[c, v] : observed) {
+            double dot = 0.0;
+            for (size_t f = 0; f < k; ++f)
+                dot += qu[f] * p_.at(c, f);
+            acc += v - mu_ - col_bias_[c] - dot;
+        }
+        bu = acc / (double(observed.size()) + lambda_b);
+
+        // Ridge solve for the latent vector given the bias.
+        std::vector<std::vector<double>> ata(
+            k, std::vector<double>(k, 0.0));
+        std::vector<double> atb(k, 0.0);
+        for (size_t f = 0; f < k; ++f)
+            ata[f][f] = lambda * double(observed.size());
+        for (const auto &[c, v] : observed) {
+            double y = v - mu_ - bu - col_bias_[c];
+            for (size_t f = 0; f < k; ++f) {
+                double pf = p_.at(c, f);
+                atb[f] += pf * y;
+                for (size_t g = 0; g < k; ++g)
+                    ata[f][g] += pf * p_.at(c, g);
+            }
+        }
+        qu = solveSmall(std::move(ata), std::move(atb));
+    }
+
+    std::vector<double> row(cols_);
+    for (size_t c = 0; c < cols_; ++c) {
+        double dot = 0.0;
+        for (size_t f = 0; f < k; ++f)
+            dot += qu[f] * p_.at(c, f);
+        row[c] = mu_ + bu + col_bias_[c] + dot;
+    }
+    // Observed entries are measurements: keep them exact.
+    for (const auto &[c, v] : observed)
+        row[c] = v;
+    return row;
+}
+
+Matrix
+PqModel::reconstruct() const
+{
+    Matrix out(rows_, cols_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            out.at(r, c) = predict(r, c);
+    return out;
+}
+
+} // namespace quasar::linalg

@@ -1,0 +1,76 @@
+#include "sim/event_queue.hh"
+
+#include <cassert>
+
+namespace quasar::sim
+{
+
+void
+EventHandle::cancel()
+{
+    if (cancelled_)
+        *cancelled_ = true;
+}
+
+bool
+EventHandle::pending() const
+{
+    return cancelled_ && !*cancelled_;
+}
+
+EventHandle
+EventQueue::schedule(SimTime t, std::function<void()> fn)
+{
+    assert(t >= now_);
+    auto cancelled = std::make_shared<bool>(false);
+    heap_.push(Item{t, next_seq_++, std::move(fn), cancelled});
+    return EventHandle(cancelled);
+}
+
+EventHandle
+EventQueue::scheduleAfter(SimTime delay, std::function<void()> fn)
+{
+    assert(delay >= 0.0);
+    return schedule(now_ + delay, std::move(fn));
+}
+
+bool
+EventQueue::empty() const
+{
+    // Cancelled items may linger in the heap; treat them as absent.
+    auto copy = heap_;
+    while (!copy.empty()) {
+        if (!*copy.top().cancelled)
+            return false;
+        copy.pop();
+    }
+    return true;
+}
+
+void
+EventQueue::run(SimTime until)
+{
+    while (!heap_.empty() && heap_.top().time <= until) {
+        if (!step())
+            break;
+    }
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap_.empty()) {
+        Item item = heap_.top();
+        heap_.pop();
+        if (*item.cancelled)
+            continue;
+        assert(item.time >= now_);
+        now_ = item.time;
+        ++events_run_;
+        item.fn();
+        return true;
+    }
+    return false;
+}
+
+} // namespace quasar::sim

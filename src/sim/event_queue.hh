@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Minimal discrete-event simulation core: a clock and a priority queue
+ * of timestamped callbacks. Events scheduled at the same time fire in
+ * scheduling order (FIFO tie-break), which keeps scenario runs
+ * deterministic.
+ */
+
+#ifndef QUASAR_SIM_EVENT_QUEUE_HH
+#define QUASAR_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace quasar::sim
+{
+
+/** Handle for cancelling a scheduled event. */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** Cancel the event; no-op if it already fired or was cancelled. */
+    void cancel();
+
+    /** True when the handle refers to a still-pending event. */
+    bool pending() const;
+
+  private:
+    friend class EventQueue;
+    explicit EventHandle(std::shared_ptr<bool> cancelled)
+        : cancelled_(std::move(cancelled)) {}
+
+    std::shared_ptr<bool> cancelled_;
+};
+
+/** The simulation clock and pending-event heap. */
+class EventQueue
+{
+  public:
+    /** Current simulated time in seconds. */
+    SimTime now() const { return now_; }
+
+    /**
+     * Schedule fn at absolute time t (must be >= now).
+     * @return a handle usable to cancel the event.
+     */
+    EventHandle schedule(SimTime t, std::function<void()> fn);
+
+    /** Schedule fn at now + delay. */
+    EventHandle scheduleAfter(SimTime delay, std::function<void()> fn);
+
+    /** True when no runnable events remain. */
+    bool empty() const;
+
+    /** Run events until the queue drains or the clock passes until. */
+    void run(SimTime until = 1e18);
+
+    /** Execute exactly one event; returns false when none remain. */
+    bool step();
+
+    /** Number of events executed so far. */
+    uint64_t eventsRun() const { return events_run_; }
+
+  private:
+    struct Item
+    {
+        SimTime time;
+        uint64_t seq;
+        std::function<void()> fn;
+        std::shared_ptr<bool> cancelled;
+    };
+    struct Later
+    {
+        bool operator()(const Item &a, const Item &b) const
+        {
+            if (a.time != b.time)
+                return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    SimTime now_ = 0.0;
+    uint64_t next_seq_ = 0;
+    uint64_t events_run_ = 0;
+    std::priority_queue<Item, std::vector<Item>, Later> heap_;
+};
+
+} // namespace quasar::sim
+
+#endif // QUASAR_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,122 @@
+#include "sim/platform.hh"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace quasar::sim
+{
+
+namespace
+{
+
+using interference::IVector;
+using interference::Source;
+
+/**
+ * Build a contention-capacity vector from a platform's gross
+ * characteristics. Compute-side sources (caches, CPU, prefetch) scale
+ * with core count and speed; memory bandwidth with installed memory;
+ * disk and network with a per-tier factor.
+ */
+IVector
+capacityFor(int cores, double mem_gb, double core_perf, double io_tier)
+{
+    IVector v = interference::zeroVector();
+    double compute = cores * core_perf / 8.0; // 8-core box = 1.0
+    v[size_t(Source::MemoryBw)] = mem_gb / 16.0;
+    v[size_t(Source::L1ICache)] = compute;
+    v[size_t(Source::LLCache)] = compute;
+    v[size_t(Source::DiskIO)] = io_tier;
+    v[size_t(Source::Network)] = io_tier;
+    v[size_t(Source::L2Cache)] = compute;
+    v[size_t(Source::Cpu)] = compute;
+    v[size_t(Source::Prefetch)] = compute;
+    return v;
+}
+
+Platform
+make(const std::string &name, int cores, double mem_gb, double storage_gb,
+     double core_perf, double io_tier)
+{
+    Platform p;
+    p.name = name;
+    p.cores = cores;
+    p.memory_gb = mem_gb;
+    p.storage_gb = storage_gb;
+    p.core_perf = core_perf;
+    // A simple market price: compute-weighted with a memory premium.
+    p.cost_per_hour =
+        0.05 * cores * core_perf + 0.005 * mem_gb + 0.05 * io_tier;
+    p.contention_capacity = capacityFor(cores, mem_gb, core_perf,
+                                        io_tier);
+    return p;
+}
+
+} // namespace
+
+std::vector<Platform>
+localPlatforms()
+{
+    // Table 1: cores / memory. Core speed and I/O tiers are graded from
+    // the Atom board (A) up to the dual-socket Xeon (J).
+    return {
+        make("A", 2, 4, 250, 0.45, 0.5),
+        make("B", 4, 8, 250, 0.60, 0.6),
+        make("C", 8, 12, 500, 0.65, 0.8),
+        make("D", 8, 16, 500, 0.75, 0.8),
+        make("E", 8, 20, 500, 0.85, 1.0),
+        make("F", 8, 24, 1000, 0.90, 1.0),
+        make("G", 12, 16, 1000, 0.80, 1.0),
+        make("H", 12, 24, 1000, 0.90, 1.2),
+        make("I", 16, 48, 2000, 0.95, 1.5),
+        make("J", 24, 48, 2000, 1.00, 1.5),
+    };
+}
+
+std::vector<Platform>
+ec2Platforms()
+{
+    // Fourteen dedicated instance types, small through xlarge tiers.
+    return {
+        make("m1.small", 1, 1.7, 160, 0.40, 0.4),
+        make("m1.medium", 1, 3.75, 410, 0.55, 0.5),
+        make("m1.large", 2, 7.5, 840, 0.55, 0.6),
+        make("m1.xlarge", 4, 15, 1680, 0.55, 0.8),
+        make("m3.medium", 1, 3.75, 400, 0.70, 0.6),
+        make("m3.large", 2, 7.5, 800, 0.70, 0.8),
+        make("m3.xlarge", 4, 15, 1600, 0.75, 1.0),
+        make("m3.2xlarge", 8, 30, 3200, 0.75, 1.2),
+        make("c1.medium", 2, 1.7, 350, 0.65, 0.6),
+        make("c1.xlarge", 8, 7, 1680, 0.70, 1.0),
+        make("c3.large", 2, 3.75, 320, 0.90, 0.8),
+        make("c3.xlarge", 4, 7.5, 640, 0.95, 1.0),
+        make("c3.2xlarge", 8, 15, 1280, 1.00, 1.2),
+        make("m2.2xlarge", 4, 34.2, 850, 0.70, 1.0),
+    };
+}
+
+const Platform &
+platformByName(const std::vector<Platform> &catalog,
+               const std::string &name)
+{
+    for (const Platform &p : catalog)
+        if (p.name == name)
+            return p;
+    assert(false && "unknown platform");
+    std::abort();
+}
+
+size_t
+highestEndPlatform(const std::vector<Platform> &catalog)
+{
+    assert(!catalog.empty());
+    size_t best = 0;
+    for (size_t i = 1; i < catalog.size(); ++i)
+        if (catalog[i].computeCapacity() >
+            catalog[best].computeCapacity()) {
+            best = i;
+        }
+    return best;
+}
+
+} // namespace quasar::sim

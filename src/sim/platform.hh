@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Server platform descriptions and catalogs.
+ *
+ * The local-cluster catalog mirrors the paper's Table 1 (platforms A-J,
+ * from a dual-core Atom board to a dual-socket 24-core Xeon with 48 GB
+ * of RAM). The EC2 catalog models the 14 dedicated instance types of
+ * the paper's 200-server experiment.
+ */
+
+#ifndef QUASAR_SIM_PLATFORM_HH
+#define QUASAR_SIM_PLATFORM_HH
+
+#include <string>
+#include <vector>
+
+#include "interference/source.hh"
+
+namespace quasar::sim
+{
+
+/** One server hardware configuration. */
+struct Platform
+{
+    std::string name;       ///< short label ("A".."J" or instance type).
+    int cores = 0;          ///< hardware threads available.
+    double memory_gb = 0.0; ///< installed memory.
+    double storage_gb = 0.0;///< local storage capacity.
+    double core_perf = 1.0; ///< per-core speed relative to platform J.
+    /** Hourly price of the whole server (Sec. 4.4 cost targets). */
+    double cost_per_hour = 0.0;
+    /**
+     * Per-source contention capacity: how much aggregate pressure this
+     * platform absorbs before a source saturates (1.0 = the baseline
+     * 8-core box).
+     */
+    interference::IVector contention_capacity{};
+
+    /** Peak compute throughput: cores * core_perf. */
+    double computeCapacity() const { return cores * core_perf; }
+};
+
+/**
+ * The ten heterogeneous platforms of the paper's local cluster
+ * (Table 1): A(2c/4GB) .. J(24c/48GB).
+ */
+std::vector<Platform> localPlatforms();
+
+/** The fourteen EC2 dedicated instance types (small .. xlarge tiers). */
+std::vector<Platform> ec2Platforms();
+
+/** Find a platform by name; aborts if absent. */
+const Platform &platformByName(const std::vector<Platform> &catalog,
+                               const std::string &name);
+
+/** Index of the highest-end platform (max compute capacity). */
+size_t highestEndPlatform(const std::vector<Platform> &catalog);
+
+} // namespace quasar::sim
+
+#endif // QUASAR_SIM_PLATFORM_HH

@@ -1,0 +1,229 @@
+#include "sim/server.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace quasar::sim
+{
+
+using interference::IVector;
+using interference::kNumSources;
+
+bool
+Server::canFit(int cores, double memory_gb, double storage_gb) const
+{
+    return cores <= coresFree() && memory_gb <= memoryFree() + 1e-9 &&
+           storage_gb <= storageFree() + 1e-9;
+}
+
+void
+Server::place(const TaskShare &share)
+{
+    assert(share.workload != kInvalidWorkload);
+    assert(!hosts(share.workload));
+    assert(canFit(share.cores, share.memory_gb, share.storage_gb));
+    tasks_.push_back(share);
+}
+
+bool
+Server::remove(WorkloadId w)
+{
+    auto it = std::find_if(tasks_.begin(), tasks_.end(),
+                           [w](const TaskShare &t) {
+                               return t.workload == w;
+                           });
+    if (it == tasks_.end())
+        return false;
+    tasks_.erase(it);
+    return true;
+}
+
+bool
+Server::hosts(WorkloadId w) const
+{
+    return share(w) != nullptr;
+}
+
+bool
+Server::resize(WorkloadId w, int cores, double memory_gb)
+{
+    TaskShare *t = findShare(w);
+    if (!t)
+        return false;
+    int extra_cores = cores - t->cores;
+    double extra_mem = memory_gb - t->memory_gb;
+    if (extra_cores > coresFree() || extra_mem > memoryFree() + 1e-9)
+        return false;
+    // Scale caused pressure with the new core share.
+    if (t->cores > 0) {
+        double ratio = double(cores) / double(t->cores);
+        t->caused = interference::scale(t->caused, ratio);
+    }
+    t->cores = cores;
+    t->memory_gb = memory_gb;
+    return true;
+}
+
+const TaskShare *
+Server::share(WorkloadId w) const
+{
+    for (const TaskShare &t : tasks_)
+        if (t.workload == w)
+            return &t;
+    return nullptr;
+}
+
+TaskShare *
+Server::findShare(WorkloadId w)
+{
+    for (TaskShare &t : tasks_)
+        if (t.workload == w)
+            return &t;
+    return nullptr;
+}
+
+std::vector<WorkloadId>
+Server::bestEffortTasks() const
+{
+    std::vector<WorkloadId> out;
+    for (const TaskShare &t : tasks_)
+        if (t.best_effort)
+            out.push_back(t.workload);
+    return out;
+}
+
+int
+Server::coresAllocated() const
+{
+    int n = 0;
+    for (const TaskShare &t : tasks_)
+        n += t.cores;
+    return n;
+}
+
+double
+Server::memoryAllocated() const
+{
+    double m = 0.0;
+    for (const TaskShare &t : tasks_)
+        m += t.memory_gb;
+    return m;
+}
+
+double
+Server::storageAllocated() const
+{
+    double s = 0.0;
+    for (const TaskShare &t : tasks_)
+        s += t.storage_gb;
+    return s;
+}
+
+IVector
+Server::rawPressureExcluding(WorkloadId w) const
+{
+    IVector total = injected_;
+    for (const TaskShare &t : tasks_) {
+        if (t.workload == w)
+            continue;
+        for (size_t i = 0; i < kNumSources; ++i) {
+            // Pressure inside a private partition stays there.
+            if (t.isolation[i] == 0.0)
+                total[i] += t.caused[i];
+        }
+    }
+    return total;
+}
+
+IVector
+Server::contentionFor(WorkloadId w) const
+{
+    IVector raw = rawPressureExcluding(w);
+    const TaskShare *self = share(w);
+    IVector out;
+    for (size_t i = 0; i < kNumSources; ++i) {
+        // An isolated source is contention-free for this task.
+        if (self && self->isolation[i] != 0.0) {
+            out[i] = 0.0;
+            continue;
+        }
+        double cap = platform_.contention_capacity[i];
+        out[i] = cap > 0.0 ? raw[i] / cap : 0.0;
+    }
+    return out;
+}
+
+IVector
+Server::contentionForNewcomer() const
+{
+    return contentionFor(kInvalidWorkload);
+}
+
+void
+Server::injectPressure(const IVector &normalized)
+{
+    for (size_t i = 0; i < kNumSources; ++i)
+        injected_[i] += normalized[i] * platform_.contention_capacity[i];
+}
+
+void
+Server::clearInjectedPressure()
+{
+    injected_ = interference::zeroVector();
+}
+
+bool
+Server::setIsolation(WorkloadId w, interference::Source source,
+                     bool isolated)
+{
+    TaskShare *t = findShare(w);
+    if (!t)
+        return false;
+    t->isolation[static_cast<size_t>(source)] = isolated ? 1.0 : 0.0;
+    return true;
+}
+
+bool
+Server::setUsage(WorkloadId w, double cores_used)
+{
+    TaskShare *t = findShare(w);
+    if (!t)
+        return false;
+    t->cores_used = std::clamp(cores_used, 0.0, double(t->cores));
+    return true;
+}
+
+double
+Server::cpuUtilization() const
+{
+    double used = 0.0;
+    for (const TaskShare &t : tasks_)
+        used += t.cores_used;
+    return platform_.cores > 0 ? used / double(platform_.cores) : 0.0;
+}
+
+double
+Server::cpuReservedFraction() const
+{
+    return platform_.cores > 0
+               ? double(coresAllocated()) / double(platform_.cores)
+               : 0.0;
+}
+
+double
+Server::memoryUtilization() const
+{
+    return platform_.memory_gb > 0.0
+               ? memoryAllocated() / platform_.memory_gb
+               : 0.0;
+}
+
+double
+Server::storageUtilization() const
+{
+    return platform_.storage_gb > 0.0
+               ? storageAllocated() / platform_.storage_gb
+               : 0.0;
+}
+
+} // namespace quasar::sim

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * A single server: cgroup-style resource accounting for resident
+ * tasks, plus the contention ledger that turns co-location into the
+ * interference vectors workloads experience.
+ */
+
+#ifndef QUASAR_SIM_SERVER_HH
+#define QUASAR_SIM_SERVER_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "interference/source.hh"
+#include "sim/platform.hh"
+
+namespace quasar::sim
+{
+
+/** Resources granted to one workload on one server. */
+struct TaskShare
+{
+    WorkloadId workload = kInvalidWorkload;
+    int cores = 0;
+    double memory_gb = 0.0;
+    double storage_gb = 0.0;
+    /** Pressure this task puts on each shared resource (absolute). */
+    interference::IVector caused{};
+    /** Measured core usage (may be below the allocation). */
+    double cores_used = 0.0;
+    /** True for best-effort (evictable, low-priority) placements. */
+    bool best_effort = false;
+    /**
+     * Per-source isolation mask (Sec. 4.4 resource partitioning, e.g.
+     * cache ways or NIC rate limits): on an isolated source the task
+     * neither suffers nor causes contention, at a small capacity cost
+     * charged by the performance model.
+     */
+    interference::IVector isolation{};
+};
+
+/** One machine in the cluster. */
+class Server
+{
+  public:
+    Server(ServerId id, const Platform &platform, int fault_zone = 0)
+        : id_(id), platform_(platform), fault_zone_(fault_zone) {}
+
+    ServerId id() const { return id_; }
+    const Platform &platform() const { return platform_; }
+    /** Failure-domain id (rack/PDU); Sec. 4.4 fault zones. */
+    int faultZone() const { return fault_zone_; }
+
+    /** @name Placement */
+    /// @{
+    bool canFit(int cores, double memory_gb, double storage_gb) const;
+    void place(const TaskShare &share);
+    /** Remove a workload's share; false when not hosted here. */
+    bool remove(WorkloadId w);
+    bool hosts(WorkloadId w) const;
+    /** Resize an existing share; false when not hosted here. */
+    bool resize(WorkloadId w, int cores, double memory_gb);
+    const TaskShare *share(WorkloadId w) const;
+    const std::vector<TaskShare> &tasks() const { return tasks_; }
+    /** Ids of best-effort tasks, eviction candidates. */
+    std::vector<WorkloadId> bestEffortTasks() const;
+    /// @}
+
+    /** @name Capacity */
+    /// @{
+    int coresAllocated() const;
+    int coresFree() const { return platform_.cores - coresAllocated(); }
+    double memoryAllocated() const;
+    double memoryFree() const
+    {
+        return platform_.memory_gb - memoryAllocated();
+    }
+    double storageAllocated() const;
+    double storageFree() const
+    {
+        return platform_.storage_gb - storageAllocated();
+    }
+    /// @}
+
+    /** @name Interference */
+    /// @{
+    /**
+     * Normalized contention (pressure / platform capacity) seen by
+     * workload w: the sum of all co-runners' caused pressure plus any
+     * injected pressure, excluding w's own contribution.
+     */
+    interference::IVector contentionFor(WorkloadId w) const;
+
+    /** Contention a prospective task would see if placed here now. */
+    interference::IVector contentionForNewcomer() const;
+
+    /**
+     * Inject raw pressure (used for microbenchmark probes); intensity
+     * is normalized, i.e. scaled by platform capacity internally.
+     */
+    void injectPressure(const interference::IVector &normalized);
+    void clearInjectedPressure();
+
+    /**
+     * Grant or revoke a private partition of one shared resource to a
+     * resident workload; false when not hosted here.
+     */
+    bool setIsolation(WorkloadId w, interference::Source source,
+                      bool isolated);
+    /// @}
+
+    /** @name Measured usage (for utilization reporting) */
+    /// @{
+    /** Record measured core usage of a resident workload. */
+    bool setUsage(WorkloadId w, double cores_used);
+    /** Sum of measured usage / total cores, in [0, 1]. */
+    double cpuUtilization() const;
+    /** Allocated cores / total cores (the reservation view). */
+    double cpuReservedFraction() const;
+    double memoryUtilization() const;
+    double storageUtilization() const;
+    /// @}
+
+  private:
+    TaskShare *findShare(WorkloadId w);
+    interference::IVector rawPressureExcluding(WorkloadId w) const;
+
+    ServerId id_;
+    Platform platform_;
+    int fault_zone_ = 0;
+    std::vector<TaskShare> tasks_;
+    interference::IVector injected_ = interference::zeroVector();
+};
+
+} // namespace quasar::sim
+
+#endif // QUASAR_SIM_SERVER_HH

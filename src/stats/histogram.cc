@@ -1,0 +1,87 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+#include "stats/summary.hh"
+
+namespace quasar::stats
+{
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / double(bins)), counts_(bins, 0.0)
+{
+    assert(hi > lo && bins > 0);
+}
+
+void
+Histogram::add(double x, double weight)
+{
+    double clamped = std::clamp(x, lo_, std::nextafter(hi_, lo_));
+    auto bin = static_cast<size_t>((clamped - lo_) / width_);
+    bin = std::min(bin, counts_.size() - 1);
+    counts_[bin] += weight;
+    total_ += weight;
+}
+
+double
+Histogram::binLo(size_t i) const
+{
+    return lo_ + width_ * double(i);
+}
+
+double
+Histogram::binHi(size_t i) const
+{
+    return lo_ + width_ * double(i + 1);
+}
+
+double
+Histogram::cdfAt(double x) const
+{
+    if (total_ <= 0.0)
+        return 0.0;
+    double acc = 0.0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        if (binHi(i) <= x)
+            acc += counts_[i];
+        else
+            break;
+    }
+    return acc / total_;
+}
+
+std::vector<std::pair<double, double>>
+Histogram::cdfPoints() const
+{
+    std::vector<std::pair<double, double>> pts;
+    pts.reserve(counts_.size() + 1);
+    double acc = 0.0;
+    pts.emplace_back(lo_, 0.0);
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        acc += counts_[i];
+        pts.emplace_back(binHi(i), total_ > 0.0 ? acc / total_ : 0.0);
+    }
+    return pts;
+}
+
+std::string
+formatCdfTable(const std::vector<double> &values,
+               const std::string &value_label, size_t rows)
+{
+    Samples s;
+    s.addAll(values);
+    std::string out = "  pctl   " + value_label + "\n";
+    char buf[64];
+    for (size_t i = 0; i <= rows; ++i) {
+        double p = 100.0 * double(i) / double(rows);
+        std::snprintf(buf, sizeof(buf), "  %5.1f  %10.3f\n", p,
+                      s.percentile(p));
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace quasar::stats

@@ -1,0 +1,101 @@
+#include "stats/rng.hh"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace quasar::stats
+{
+
+double
+Rng::uniform(double lo, double hi)
+{
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(engine_);
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(engine_);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    std::normal_distribution<double> d(mean, stddev);
+    return d(engine_);
+}
+
+double
+Rng::lognormalNoise(double sigma)
+{
+    if (sigma <= 0.0)
+        return 1.0;
+    std::lognormal_distribution<double> d(0.0, sigma);
+    return d(engine_);
+}
+
+double
+Rng::exponential(double rate)
+{
+    std::exponential_distribution<double> d(rate);
+    return d(engine_);
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+}
+
+double
+Rng::pareto(double xm, double alpha)
+{
+    assert(xm > 0.0 && alpha > 0.0);
+    double u = uniform(1e-12, 1.0);
+    return xm / std::pow(u, 1.0 / alpha);
+}
+
+size_t
+Rng::weightedIndex(const std::vector<double> &weights)
+{
+    assert(!weights.empty());
+    double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    assert(total > 0.0);
+    double x = uniform(0.0, total);
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (x < acc)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+std::vector<size_t>
+Rng::permutation(size_t n)
+{
+    std::vector<size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), size_t{0});
+    for (size_t i = n; i > 1; --i) {
+        size_t j = static_cast<size_t>(uniformInt(0, int64_t(i) - 1));
+        std::swap(idx[i - 1], idx[j]);
+    }
+    return idx;
+}
+
+Rng
+Rng::fork()
+{
+    // Derive a child seed from the parent stream; both remain usable.
+    return Rng(engine_());
+}
+
+} // namespace quasar::stats

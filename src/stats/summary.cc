@@ -1,0 +1,128 @@
+#include "stats/summary.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace quasar::stats
+{
+
+void
+Accumulator::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / double(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+Accumulator::variance() const
+{
+    return n_ > 1 ? m2_ / double(n_ - 1) : 0.0;
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Samples::addAll(const std::vector<double> &xs)
+{
+    xs_.insert(xs_.end(), xs.begin(), xs.end());
+}
+
+double
+Samples::mean() const
+{
+    if (xs_.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs_)
+        s += x;
+    return s / double(xs_.size());
+}
+
+double
+Samples::stddev() const
+{
+    if (xs_.size() < 2)
+        return 0.0;
+    double m = mean();
+    double s = 0.0;
+    for (double x : xs_)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / double(xs_.size() - 1));
+}
+
+double
+Samples::min() const
+{
+    return xs_.empty() ? 0.0 : *std::min_element(xs_.begin(), xs_.end());
+}
+
+double
+Samples::max() const
+{
+    return xs_.empty() ? 0.0 : *std::max_element(xs_.begin(), xs_.end());
+}
+
+double
+Samples::percentile(double p) const
+{
+    assert(p >= 0.0 && p <= 100.0);
+    if (xs_.empty())
+        return 0.0;
+    std::vector<double> sorted(xs_);
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1)
+        return sorted[0];
+    double rank = p / 100.0 * double(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - double(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double
+Samples::fractionBelow(double threshold) const
+{
+    if (xs_.empty())
+        return 0.0;
+    size_t n = 0;
+    for (double x : xs_)
+        if (x <= threshold)
+            ++n;
+    return double(n) / double(xs_.size());
+}
+
+ErrorReport
+makeErrorReport(const Samples &errors)
+{
+    ErrorReport r;
+    r.avg = errors.mean();
+    r.p90 = errors.percentile(90.0);
+    r.max = errors.max();
+    return r;
+}
+
+std::string
+formatErrorReport(const ErrorReport &r)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%5.1f%% / %5.1f%% / %5.1f%%",
+                  r.avg * 100.0, r.p90 * 100.0, r.max * 100.0);
+    return buf;
+}
+
+} // namespace quasar::stats

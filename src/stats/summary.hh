@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Streaming and batch summary statistics: mean/stddev accumulation,
+ * percentiles over stored samples, and error-report helpers used by the
+ * classification-validation experiments (paper Table 2).
+ */
+
+#ifndef QUASAR_STATS_SUMMARY_HH
+#define QUASAR_STATS_SUMMARY_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace quasar::stats
+{
+
+/**
+ * Welford-style streaming accumulator for mean and variance; does not
+ * store samples.
+ */
+class Accumulator
+{
+  public:
+    void add(double x);
+
+    size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Sample set with percentile queries. Stores all samples; intended for
+ * experiment post-processing, not hot paths.
+ */
+class Samples
+{
+  public:
+    void add(double x) { xs_.push_back(x); }
+    void addAll(const std::vector<double> &xs);
+
+    size_t count() const { return xs_.size(); }
+    bool empty() const { return xs_.empty(); }
+    double mean() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+
+    /**
+     * Linear-interpolated percentile.
+     * @param p percentile in [0, 100].
+     */
+    double percentile(double p) const;
+
+    /** Fraction of samples satisfying x <= threshold. */
+    double fractionBelow(double threshold) const;
+
+    const std::vector<double> &values() const { return xs_; }
+
+  private:
+    std::vector<double> xs_;
+};
+
+/**
+ * avg / 90th-percentile / max triple, the error format of paper
+ * Table 2.
+ */
+struct ErrorReport
+{
+    double avg = 0.0;
+    double p90 = 0.0;
+    double max = 0.0;
+};
+
+/** Build an ErrorReport from a set of absolute relative errors. */
+ErrorReport makeErrorReport(const Samples &errors);
+
+/** Render an ErrorReport as "a% / b% / c%" for bench output. */
+std::string formatErrorReport(const ErrorReport &r);
+
+} // namespace quasar::stats
+
+#endif // QUASAR_STATS_SUMMARY_HH

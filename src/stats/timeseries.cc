@@ -1,0 +1,103 @@
+#include "stats/timeseries.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace quasar::stats
+{
+
+void
+TimeSeries::record(double t, double v)
+{
+    assert(times_.empty() || t >= times_.back());
+    times_.push_back(t);
+    values_.push_back(v);
+}
+
+double
+TimeSeries::meanOver(double t0, double t1) const
+{
+    double sum = 0.0;
+    size_t n = 0;
+    for (size_t i = 0; i < times_.size(); ++i) {
+        if (times_[i] >= t0 && times_[i] < t1) {
+            sum += values_[i];
+            ++n;
+        }
+    }
+    return n ? sum / double(n) : 0.0;
+}
+
+double
+TimeSeries::mean() const
+{
+    if (values_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values_)
+        sum += v;
+    return sum / double(values_.size());
+}
+
+double
+TimeSeries::last(double fallback) const
+{
+    return values_.empty() ? fallback : values_.back();
+}
+
+void
+UtilizationGrid::record(size_t server, double t, double util)
+{
+    assert(server < series_.size());
+    series_[server].record(t, util);
+}
+
+std::vector<double>
+UtilizationGrid::windowMeans(double t0, double t1) const
+{
+    std::vector<double> out;
+    out.reserve(series_.size());
+    for (const auto &s : series_)
+        out.push_back(s.meanOver(t0, t1));
+    return out;
+}
+
+double
+UtilizationGrid::overallMean() const
+{
+    double sum = 0.0;
+    size_t n = 0;
+    for (const auto &s : series_) {
+        for (double v : s.values()) {
+            sum += v;
+            ++n;
+        }
+    }
+    return n ? sum / double(n) : 0.0;
+}
+
+std::string
+UtilizationGrid::renderHeatmap(double t0, double t1, size_t buckets) const
+{
+    static const char glyphs[] = " .:-=+*#%@";
+    double width = (t1 - t0) / double(buckets);
+    std::string out;
+    out.reserve(series_.size() * (buckets + 16));
+    char label[32];
+    for (size_t s = 0; s < series_.size(); ++s) {
+        std::snprintf(label, sizeof(label), "srv%3zu |", s);
+        out += label;
+        for (size_t b = 0; b < buckets; ++b) {
+            double m = series_[s].meanOver(t0 + width * double(b),
+                                           t0 + width * double(b + 1));
+            int g = static_cast<int>(std::clamp(m, 0.0, 1.0) * 9.0);
+            out += glyphs[g];
+        }
+        out += "|\n";
+    }
+    return out;
+}
+
+} // namespace quasar::stats

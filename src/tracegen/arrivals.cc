@@ -1,0 +1,20 @@
+#include "tracegen/arrivals.hh"
+
+namespace quasar::tracegen
+{
+
+std::vector<double>
+arrivalTimes(ArrivalProcess &process, size_t count, stats::Rng &rng,
+             double start_s)
+{
+    std::vector<double> times;
+    times.reserve(count);
+    double t = start_s;
+    for (size_t i = 0; i < count; ++i) {
+        times.push_back(t);
+        t += process.nextGap(rng);
+    }
+    return times;
+}
+
+} // namespace quasar::tracegen

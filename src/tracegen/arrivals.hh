@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Workload arrival processes for scenario construction: fixed
+ * inter-arrival gaps (the paper submits jobs with 1 s / 5 s / 10 s
+ * spacing) and Poisson arrivals for open-loop experiments.
+ */
+
+#ifndef QUASAR_TRACEGEN_ARRIVALS_HH
+#define QUASAR_TRACEGEN_ARRIVALS_HH
+
+#include <vector>
+
+#include "stats/rng.hh"
+
+namespace quasar::tracegen
+{
+
+/** Generates the gap to the next arrival. */
+class ArrivalProcess
+{
+  public:
+    virtual ~ArrivalProcess() = default;
+
+    /** Seconds until the next arrival. */
+    virtual double nextGap(stats::Rng &rng) = 0;
+};
+
+/** Constant spacing. */
+class FixedInterArrival : public ArrivalProcess
+{
+  public:
+    explicit FixedInterArrival(double gap_s) : gap_(gap_s) {}
+    double nextGap(stats::Rng &) override { return gap_; }
+
+  private:
+    double gap_;
+};
+
+/** Exponential gaps with the given mean rate (arrivals/sec). */
+class PoissonArrivals : public ArrivalProcess
+{
+  public:
+    explicit PoissonArrivals(double rate_per_s) : rate_(rate_per_s) {}
+    double nextGap(stats::Rng &rng) override
+    {
+        return rng.exponential(rate_);
+    }
+
+  private:
+    double rate_;
+};
+
+/** Absolute arrival times for count workloads starting at start_s. */
+std::vector<double> arrivalTimes(ArrivalProcess &process, size_t count,
+                                 stats::Rng &rng, double start_s = 0.0);
+
+} // namespace quasar::tracegen
+
+#endif // QUASAR_TRACEGEN_ARRIVALS_HH

@@ -1,0 +1,98 @@
+#include "tracegen/load_pattern.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace quasar::tracegen
+{
+
+FluctuatingLoad::FluctuatingLoad(double mean_qps, double amplitude_qps,
+                                 double period_s, double phase_s)
+    : mean_(mean_qps), amplitude_(amplitude_qps), period_(period_s),
+      phase_(phase_s)
+{
+    assert(period_ > 0.0 && amplitude_ <= mean_);
+}
+
+double
+FluctuatingLoad::qpsAt(double t) const
+{
+    double x = 2.0 * M_PI * (t + phase_) / period_;
+    return std::max(0.0, mean_ + amplitude_ * std::sin(x));
+}
+
+SpikeLoad::SpikeLoad(double base_qps, double spike_qps,
+                     double spike_start_s, double ramp_s, double hold_s)
+    : base_(base_qps), spike_(spike_qps), start_(spike_start_s),
+      ramp_(std::max(ramp_s, 1e-6)), hold_(hold_s)
+{
+    assert(spike_ >= base_);
+}
+
+double
+SpikeLoad::qpsAt(double t) const
+{
+    if (t < start_ || t > start_ + 2.0 * ramp_ + hold_)
+        return base_;
+    if (t < start_ + ramp_) {
+        double f = (t - start_) / ramp_;
+        return base_ + f * (spike_ - base_);
+    }
+    if (t < start_ + ramp_ + hold_)
+        return spike_;
+    double f = (t - start_ - ramp_ - hold_) / ramp_;
+    return spike_ - f * (spike_ - base_);
+}
+
+DiurnalLoad::DiurnalLoad(double min_qps, double max_qps, double period_s,
+                         double peak_at_s)
+    : min_(min_qps), max_(max_qps), period_(period_s), peak_at_(peak_at_s)
+{
+    assert(max_ >= min_ && period_ > 0.0);
+}
+
+double
+DiurnalLoad::qpsAt(double t) const
+{
+    double x = 2.0 * M_PI * (t - peak_at_) / period_;
+    double f = 0.5 * (1.0 + std::cos(x)); // 1 at the peak, 0 opposite
+    return min_ + f * (max_ - min_);
+}
+
+PiecewiseLoad::PiecewiseLoad(std::vector<std::pair<double, double>> knots)
+    : knots_(std::move(knots))
+{
+    assert(!knots_.empty());
+    for (size_t i = 1; i < knots_.size(); ++i)
+        assert(knots_[i].first >= knots_[i - 1].first);
+}
+
+double
+PiecewiseLoad::qpsAt(double t) const
+{
+    if (t <= knots_.front().first)
+        return knots_.front().second;
+    if (t >= knots_.back().first)
+        return knots_.back().second;
+    for (size_t i = 1; i < knots_.size(); ++i) {
+        if (t <= knots_[i].first) {
+            double t0 = knots_[i - 1].first, t1 = knots_[i].first;
+            double v0 = knots_[i - 1].second, v1 = knots_[i].second;
+            double f = (t1 > t0) ? (t - t0) / (t1 - t0) : 1.0;
+            return v0 + f * (v1 - v0);
+        }
+    }
+    return knots_.back().second;
+}
+
+double
+PiecewiseLoad::peakQps() const
+{
+    double m = 0.0;
+    for (const auto &k : knots_)
+        m = std::max(m, k.second);
+    return m;
+}
+
+} // namespace quasar::tracegen

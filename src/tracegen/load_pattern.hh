@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Time-varying load patterns for latency-critical services: the flat,
+ * fluctuating, spiking, and diurnal traffic shapes of the paper's
+ * Figs. 8 and 9.
+ */
+
+#ifndef QUASAR_TRACEGEN_LOAD_PATTERN_HH
+#define QUASAR_TRACEGEN_LOAD_PATTERN_HH
+
+#include <memory>
+#include <vector>
+
+namespace quasar::tracegen
+{
+
+/** A deterministic offered-load curve (QPS as a function of time). */
+class LoadPattern
+{
+  public:
+    virtual ~LoadPattern() = default;
+
+    /** Offered load at time t (seconds), in QPS. */
+    virtual double qpsAt(double t) const = 0;
+
+    /** Largest load the pattern ever offers (for capacity planning). */
+    virtual double peakQps() const = 0;
+};
+
+/** Constant load (Fig. 8a). */
+class FlatLoad : public LoadPattern
+{
+  public:
+    explicit FlatLoad(double qps) : qps_(qps) {}
+    double qpsAt(double) const override { return qps_; }
+    double peakQps() const override { return qps_; }
+
+  private:
+    double qps_;
+};
+
+/** Sinusoidal fluctuation around a mean (Fig. 8b). */
+class FluctuatingLoad : public LoadPattern
+{
+  public:
+    /**
+     * @param mean_qps center of the oscillation.
+     * @param amplitude_qps peak deviation from the mean.
+     * @param period_s oscillation period.
+     * @param phase_s phase offset.
+     */
+    FluctuatingLoad(double mean_qps, double amplitude_qps,
+                    double period_s, double phase_s = 0.0);
+    double qpsAt(double t) const override;
+    double peakQps() const override { return mean_ + amplitude_; }
+
+  private:
+    double mean_;
+    double amplitude_;
+    double period_;
+    double phase_;
+};
+
+/** Base load with one sharp spike (Fig. 8d). */
+class SpikeLoad : public LoadPattern
+{
+  public:
+    /**
+     * @param base_qps steady load outside the spike.
+     * @param spike_qps peak load at the top of the spike.
+     * @param spike_start_s when the ramp begins.
+     * @param ramp_s duration of the up/down ramps.
+     * @param hold_s time at the peak.
+     */
+    SpikeLoad(double base_qps, double spike_qps, double spike_start_s,
+              double ramp_s, double hold_s);
+    double qpsAt(double t) const override;
+    double peakQps() const override { return spike_; }
+
+  private:
+    double base_;
+    double spike_;
+    double start_;
+    double ramp_;
+    double hold_;
+};
+
+/** Day-night pattern for 24h runs (Fig. 9). */
+class DiurnalLoad : public LoadPattern
+{
+  public:
+    /**
+     * @param min_qps overnight trough.
+     * @param max_qps daytime peak.
+     * @param period_s length of a "day" (usually 86400).
+     * @param peak_at_s time-of-day of the peak.
+     */
+    DiurnalLoad(double min_qps, double max_qps, double period_s = 86400.0,
+                double peak_at_s = 14.0 * 3600.0);
+    double qpsAt(double t) const override;
+    double peakQps() const override { return max_; }
+
+  private:
+    double min_;
+    double max_;
+    double period_;
+    double peak_at_;
+};
+
+/** Piecewise-linear pattern through (time, qps) knots. */
+class PiecewiseLoad : public LoadPattern
+{
+  public:
+    explicit PiecewiseLoad(std::vector<std::pair<double, double>> knots);
+    double qpsAt(double t) const override;
+    double peakQps() const override;
+
+  private:
+    std::vector<std::pair<double, double>> knots_;
+};
+
+using LoadPatternPtr = std::shared_ptr<const LoadPattern>;
+
+} // namespace quasar::tracegen
+
+#endif // QUASAR_TRACEGEN_LOAD_PATTERN_HH

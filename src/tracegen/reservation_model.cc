@@ -1,0 +1,52 @@
+#include "tracegen/reservation_model.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace quasar::tracegen
+{
+
+ReservationModel::ReservationModel(double under_fraction,
+                                   double right_fraction, double max_over,
+                                   double max_under_factor)
+    : under_fraction_(under_fraction), right_fraction_(right_fraction),
+      max_over_(max_over), max_under_factor_(max_under_factor)
+{
+    assert(under_fraction_ + right_fraction_ <= 1.0);
+    assert(max_over_ > 1.0 && max_under_factor_ > 1.0);
+}
+
+double
+ReservationModel::sampleRatio(stats::Rng &rng) const
+{
+    double u = rng.uniform();
+    if (u < under_fraction_) {
+        // Under-sized: ratio in [1/max_under, 1), skewed toward mild.
+        double f = 1.0 + (max_under_factor_ - 1.0) *
+                             rng.uniform() * rng.uniform();
+        return 1.0 / f;
+    }
+    if (u < under_fraction_ + right_fraction_)
+        return rng.uniform(0.9, 1.1);
+    // Over-sized: ratio in (1, max_over], quadratic skew toward mild
+    // over-reservation (most users pad 2-4x, few pad 10x).
+    double v = rng.uniform();
+    return 1.0 + (max_over_ - 1.0) * v * v;
+}
+
+int
+ReservationModel::reservedCores(int needed_cores, stats::Rng &rng) const
+{
+    double r = sampleRatio(rng) * double(needed_cores);
+    return std::max(1, int(std::lround(r)));
+}
+
+double
+ReservationModel::reservedMemoryGb(double needed_gb,
+                                   stats::Rng &rng) const
+{
+    return std::max(0.5, sampleRatio(rng) * needed_gb);
+}
+
+} // namespace quasar::tracegen

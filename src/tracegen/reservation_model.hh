@@ -1,0 +1,55 @@
+/**
+ * @file
+ * User reservation-error model, calibrated to the paper's Fig. 1d:
+ * on the production Twitter cluster, ~70% of workloads overestimate
+ * their reservation by up to 10x, ~20% underestimate by up to 5x, and
+ * only ~10% reserve about the right amount.
+ *
+ * Reservation-based baseline managers use this model to turn a
+ * workload's true resource need into the reservation a user would have
+ * submitted.
+ */
+
+#ifndef QUASAR_TRACEGEN_RESERVATION_MODEL_HH
+#define QUASAR_TRACEGEN_RESERVATION_MODEL_HH
+
+#include "stats/rng.hh"
+
+namespace quasar::tracegen
+{
+
+/** Draws reserved/needed ratios matching the Fig. 1d distribution. */
+class ReservationModel
+{
+  public:
+    /**
+     * @param under_fraction workloads that under-reserve (paper: 0.2).
+     * @param right_fraction workloads that right-size (paper: 0.1).
+     * @param max_over maximum over-reservation ratio (paper: 10x).
+     * @param max_under_factor maximum under-reservation (paper: 5x,
+     *        i.e. ratio down to 1/5).
+     */
+    ReservationModel(double under_fraction = 0.2,
+                     double right_fraction = 0.1, double max_over = 10.0,
+                     double max_under_factor = 5.0);
+
+    /**
+     * Sample a reserved/needed ratio: < 1 under-sized, ~1 right-sized,
+     * > 1 over-sized.
+     */
+    double sampleRatio(stats::Rng &rng) const;
+
+    /** Apply a sampled ratio to a true need, keeping a floor of 1. */
+    int reservedCores(int needed_cores, stats::Rng &rng) const;
+    double reservedMemoryGb(double needed_gb, stats::Rng &rng) const;
+
+  private:
+    double under_fraction_;
+    double right_fraction_;
+    double max_over_;
+    double max_under_factor_;
+};
+
+} // namespace quasar::tracegen
+
+#endif // QUASAR_TRACEGEN_RESERVATION_MODEL_HH

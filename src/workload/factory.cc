@@ -1,0 +1,447 @@
+#include "workload/factory.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace quasar::workload
+{
+
+using interference::IVector;
+using interference::kNumSources;
+using interference::Source;
+
+namespace
+{
+
+/** Linear interpolation. */
+double
+lerp(double lo, double hi, double u)
+{
+    return lo + (hi - lo) * u;
+}
+
+} // namespace
+
+interference::SensitivityProfile
+WorkloadFactory::makeSensitivity(
+    const std::vector<double> &threshold_center,
+    const std::vector<double> &caused_center)
+{
+    assert(threshold_center.size() == kNumSources);
+    assert(caused_center.size() == kNumSources);
+    interference::SensitivityProfile p;
+    // One shared "tolerance" latent per workload: aggressive
+    // workloads tolerate less and cause more across all sources (plus
+    // small per-source noise). The correlation is what lets two
+    // probed sources predict the rest.
+    double u = rng_.uniform();
+    for (size_t i = 0; i < kNumSources; ++i) {
+        double th = threshold_center[i] + 0.20 * (u - 0.5) +
+                    rng_.uniform(-0.05, 0.05);
+        p.threshold[i] = std::clamp(th, 0.05, 0.98);
+        // Sources with a low tolerance threshold also degrade faster.
+        bool sensitive = threshold_center[i] < 0.5;
+        double base = sensitive ? lerp(2.2, 1.0, u) : lerp(0.5, 0.1, u);
+        p.slope[i] = base * rng_.uniform(0.9, 1.1);
+        p.caused_per_core[i] = std::max(
+            0.0, caused_center[i] * lerp(1.25, 0.75, u) *
+                     rng_.uniform(0.9, 1.1));
+    }
+    p.floor = 0.05;
+    return p;
+}
+
+GroundTruth
+WorkloadFactory::analyticsTruth(double dataset_gb, double mem_hunger,
+                                double io_weight)
+{
+    // Workload behaviour is driven by a low-dimensional latent
+    // archetype position (u1: parallelism/serialness, u2: compute vs
+    // IO boundedness, u3: memory appetite) plus small independent
+    // jitter. Real workload populations have exactly this structure —
+    // it is what makes collaborative filtering from two profiling
+    // samples possible (paper Sec. 3.2).
+    double u1 = rng_.uniform();
+    double u2 = rng_.uniform();
+    double u3 = rng_.uniform();
+    auto jitter = [this](double v, double eps) {
+        return v * (1.0 + eps * rng_.uniform(-1.0, 1.0));
+    };
+
+    GroundTruth t;
+    t.type = WorkloadType::Analytics;
+    t.base_rate = rng_.uniform(0.6, 1.6);
+    t.serial_fraction = jitter(lerp(0.02, 0.12, u1), 0.15);
+    t.parallelism = jitter(lerp(22.0, 10.0, u1), 0.10);
+    t.cpu_exponent = jitter(lerp(0.6, 1.0, u2), 0.08);
+    // Per-node memory demand is heap/buffer bound (data streams from
+    // disk), so it grows only gently with the dataset.
+    t.mem_demand_gb = std::clamp(
+        jitter(mem_hunger * lerp(0.6, 1.4, u3) *
+                   (1.0 + 0.12 * std::log2(1.0 + dataset_gb)),
+               0.10),
+        1.0, 16.0);
+    t.mem_bonus = lerp(0.01, 0.06, u3);
+    t.scale_out_alpha = jitter(lerp(0.85, 1.08, u2), 0.03);
+    t.scale_out_overhead = jitter(lerp(0.03, 0.002, u3), 0.2);
+    t.io_exponent = io_weight * lerp(1.0, 0.5, u2);
+    t.dataset_complexity = rng_.uniform(0.55, 1.6);
+    t.mapper_ratio_opt = jitter(lerp(0.8, 2.0, u2), 0.10);
+    t.mapper_tol = lerp(0.45, 0.9, u1);
+    t.heap_opt_gb = jitter(lerp(0.6, 2.0, u3), 0.10);
+    t.heap_tol = lerp(0.6, 1.2, u2);
+    t.compression_affinity = std::clamp(
+        2.0 * u1 - 1.0 + rng_.uniform(-0.2, 0.2), -1.0, 1.0);
+    t.idio_seed = rng_.engine()();
+    t.idio_sigma = rng_.uniform(0.02, 0.08);
+    return t;
+}
+
+Workload
+WorkloadFactory::hadoopJob(const std::string &name, double dataset_gb)
+{
+    Workload w;
+    w.name = name;
+    w.type = WorkloadType::Analytics;
+    w.framework = "hadoop";
+    w.dataset_gb = dataset_gb;
+    w.truth = analyticsTruth(dataset_gb, rng_.uniform(1.5, 6.0), 0.5);
+    w.truth.sensitivity = makeSensitivity(
+        // Disk/memory-bandwidth bound; tolerant of L1I/prefetch.
+        {0.35, 0.80, 0.45, 0.30, 0.55, 0.60, 0.45, 0.75},
+        {0.07, 0.01, 0.04, 0.06, 0.03, 0.02, 0.05, 0.01});
+    w.total_work = dataset_gb * rng_.uniform(60.0, 140.0);
+    w.storage_gb_per_node = std::min(200.0, 2.0 * dataset_gb);
+    return w;
+}
+
+Workload
+WorkloadFactory::stormJob(const std::string &name, double dataset_gb)
+{
+    Workload w;
+    w.name = name;
+    w.type = WorkloadType::Analytics;
+    w.framework = "storm";
+    w.dataset_gb = dataset_gb;
+    w.truth = analyticsTruth(dataset_gb, rng_.uniform(1.0, 4.0), 0.2);
+    // Streaming: CPU and network bound.
+    w.truth.sensitivity = makeSensitivity(
+        {0.45, 0.60, 0.40, 0.70, 0.30, 0.55, 0.35, 0.70},
+        {0.05, 0.02, 0.04, 0.01, 0.06, 0.03, 0.06, 0.01});
+    w.truth.serial_fraction = rng_.uniform(0.01, 0.06);
+    w.total_work = dataset_gb * rng_.uniform(40.0, 100.0);
+    w.storage_gb_per_node = 20.0;
+    return w;
+}
+
+Workload
+WorkloadFactory::sparkJob(const std::string &name, double dataset_gb)
+{
+    Workload w;
+    w.name = name;
+    w.type = WorkloadType::Analytics;
+    w.framework = "spark";
+    w.dataset_gb = dataset_gb;
+    w.truth = analyticsTruth(dataset_gb, rng_.uniform(4.0, 10.0), 0.15);
+    // In-memory: memory bandwidth/capacity and LLC bound.
+    w.truth.sensitivity = makeSensitivity(
+        {0.25, 0.65, 0.30, 0.75, 0.50, 0.45, 0.40, 0.55},
+        {0.09, 0.01, 0.06, 0.01, 0.03, 0.04, 0.05, 0.02});
+    w.truth.mem_bonus = rng_.uniform(0.05, 0.12);
+    w.total_work = dataset_gb * rng_.uniform(30.0, 90.0);
+    w.storage_gb_per_node = 10.0;
+    return w;
+}
+
+Workload
+WorkloadFactory::memcachedService(const std::string &name,
+                                  double peak_qps, double qos_s,
+                                  double state_gb,
+                                  tracegen::LoadPatternPtr load)
+{
+    Workload w;
+    w.name = name;
+    w.type = WorkloadType::StatefulService;
+    w.framework = "memcached";
+    w.state_gb = state_gb;
+    w.load = std::move(load);
+    w.target = PerformanceTarget::qpsLatency(peak_qps, qos_s);
+
+    double u1 = rng_.uniform();
+    double u2 = rng_.uniform();
+    GroundTruth t;
+    t.type = WorkloadType::StatefulService;
+    t.base_rate = rng_.uniform(0.8, 1.2);
+    t.serial_fraction = lerp(0.01, 0.04, u1);
+    t.parallelism = 32.0;
+    t.cpu_exponent = lerp(1.0, 0.7, u1);
+    t.mem_demand_gb = lerp(12.0, 36.0, u2) * rng_.uniform(0.92, 1.08);
+    t.mem_bonus = lerp(0.02, 0.05, u2);
+    t.scale_out_alpha = lerp(0.96, 1.02, u2);
+    t.scale_out_overhead = lerp(0.01, 0.001, u2);
+    t.io_exponent = 0.1;
+    t.dataset_complexity = rng_.uniform(0.8, 1.2);
+    t.req_cost = 2.6e-5 * rng_.uniform(0.8, 1.3);
+    t.idio_seed = rng_.engine()();
+    t.idio_sigma = rng_.uniform(0.02, 0.06);
+    // Network/LLC/CPU sensitive (tail latency collapses under them).
+    t.sensitivity = makeSensitivity(
+        {0.35, 0.55, 0.25, 0.85, 0.20, 0.45, 0.30, 0.60},
+        {0.04, 0.02, 0.05, 0.00, 0.07, 0.03, 0.05, 0.02});
+    w.truth = t;
+    w.storage_gb_per_node = 5.0;
+    return w;
+}
+
+Workload
+WorkloadFactory::webService(const std::string &name, double peak_qps,
+                            double qos_s, tracegen::LoadPatternPtr load)
+{
+    Workload w;
+    w.name = name;
+    w.type = WorkloadType::LatencyService;
+    w.framework = "webserver";
+    w.load = std::move(load);
+    w.target = PerformanceTarget::qpsLatency(peak_qps, qos_s);
+
+    double u1 = rng_.uniform();
+    double u2 = rng_.uniform();
+    GroundTruth t;
+    t.type = WorkloadType::LatencyService;
+    t.base_rate = rng_.uniform(0.7, 1.3);
+    t.serial_fraction = lerp(0.03, 0.10, u1);
+    t.parallelism = lerp(20.0, 8.0, u1) * rng_.uniform(0.92, 1.08);
+    t.cpu_exponent = lerp(1.0, 0.8, u1);
+    t.mem_demand_gb = lerp(3.0, 8.0, u2) * rng_.uniform(0.92, 1.08);
+    t.scale_out_alpha = lerp(0.94, 1.0, u2);
+    t.scale_out_overhead = lerp(0.015, 0.002, u2);
+    t.io_exponent = 0.1;
+    t.dataset_complexity = rng_.uniform(0.8, 1.2);
+    t.req_cost = 0.03 * rng_.uniform(0.6, 1.5);
+    t.idio_seed = rng_.engine()();
+    t.idio_sigma = rng_.uniform(0.02, 0.06);
+    // CPU/network/L2 sensitive.
+    t.sensitivity = makeSensitivity(
+        {0.45, 0.40, 0.40, 0.80, 0.30, 0.35, 0.25, 0.60},
+        {0.04, 0.03, 0.04, 0.01, 0.05, 0.04, 0.06, 0.02});
+    w.truth = t;
+    w.storage_gb_per_node = 10.0;
+    return w;
+}
+
+Workload
+WorkloadFactory::cassandraService(const std::string &name,
+                                  double peak_qps, double qos_s,
+                                  double state_gb,
+                                  tracegen::LoadPatternPtr load)
+{
+    Workload w;
+    w.name = name;
+    w.type = WorkloadType::StatefulService;
+    w.framework = "cassandra";
+    w.state_gb = state_gb;
+    w.load = std::move(load);
+    w.target = PerformanceTarget::qpsLatency(peak_qps, qos_s);
+
+    double u1 = rng_.uniform();
+    double u2 = rng_.uniform();
+    GroundTruth t;
+    t.type = WorkloadType::StatefulService;
+    t.base_rate = rng_.uniform(0.7, 1.2);
+    t.serial_fraction = lerp(0.03, 0.08, u1);
+    t.parallelism = lerp(24.0, 12.0, u1) * rng_.uniform(0.92, 1.08);
+    t.cpu_exponent = lerp(0.7, 0.4, u1);
+    t.mem_demand_gb = lerp(6.0, 16.0, u2) * rng_.uniform(0.92, 1.08);
+    t.scale_out_alpha = lerp(0.95, 1.02, u2);
+    t.scale_out_overhead = lerp(0.015, 0.002, u2);
+    t.io_exponent = lerp(0.6, 1.0, u1); // disk bound
+    t.dataset_complexity = rng_.uniform(0.8, 1.2);
+    t.req_cost = 1.5e-3 * rng_.uniform(0.7, 1.4);
+    t.idio_seed = rng_.engine()();
+    t.idio_sigma = rng_.uniform(0.02, 0.06);
+    // Disk I/O dominates; memory bandwidth and network follow.
+    t.sensitivity = makeSensitivity(
+        {0.35, 0.70, 0.50, 0.20, 0.40, 0.60, 0.50, 0.70},
+        {0.05, 0.01, 0.03, 0.08, 0.04, 0.02, 0.03, 0.01});
+    w.truth = t;
+    w.storage_gb_per_node = std::max(50.0, state_gb / 10.0);
+    return w;
+}
+
+Workload
+WorkloadFactory::singleNodeJob(const std::string &name,
+                               const std::string &family)
+{
+    Workload w;
+    w.name = name;
+    w.type = WorkloadType::SingleNode;
+    w.framework = family;
+
+    GroundTruth t;
+    t.type = WorkloadType::SingleNode;
+    t.base_rate = rng_.uniform(0.5, 1.5);
+    t.idio_seed = rng_.engine()();
+    t.idio_sigma = rng_.uniform(0.03, 0.10);
+    t.scale_out_alpha = 1.0;
+    t.scale_out_overhead = 0.0;
+    t.dataset_complexity = rng_.uniform(0.7, 1.4);
+
+    double u1 = rng_.uniform();
+    double u2 = rng_.uniform();
+    if (family == "spec-int" || family == "spec-fp") {
+        t.parallelism = 1.0;
+        t.serial_fraction = 1.0; // single-threaded
+        t.cpu_exponent = lerp(0.9, 1.1, u1);
+        t.mem_demand_gb = lerp(0.5, 3.0, u2);
+        t.sensitivity = makeSensitivity(
+            {0.40, 0.35, 0.30, 0.90, 0.90, 0.35, 0.30, 0.45},
+            {0.05, 0.03, 0.04, 0.00, 0.00, 0.04, 0.08, 0.03});
+    } else if (family == "parsec" || family == "splash2") {
+        t.parallelism = double(1 << rng_.uniformInt(1, 3)); // 2-8
+        t.serial_fraction = lerp(0.05, 0.25, u1);
+        t.cpu_exponent = lerp(1.0, 0.8, u1);
+        t.mem_demand_gb = lerp(1.0, 6.0, u2);
+        t.sensitivity = makeSensitivity(
+            {0.30, 0.55, 0.35, 0.90, 0.85, 0.40, 0.35, 0.50},
+            {0.07, 0.02, 0.05, 0.00, 0.00, 0.04, 0.07, 0.03});
+    } else if (family == "minebench" || family == "bioparallel") {
+        t.parallelism = double(1 << rng_.uniformInt(1, 3));
+        t.serial_fraction = lerp(0.08, 0.30, u1);
+        t.cpu_exponent = lerp(0.9, 0.6, u1);
+        t.mem_demand_gb = lerp(2.0, 8.0, u2);
+        t.sensitivity = makeSensitivity(
+            {0.25, 0.60, 0.25, 0.80, 0.85, 0.45, 0.40, 0.45},
+            {0.08, 0.01, 0.06, 0.01, 0.00, 0.03, 0.05, 0.04});
+    } else if (family == "specjbb") {
+        t.parallelism = double(1 << rng_.uniformInt(2, 4)); // 4-16
+        t.serial_fraction = lerp(0.03, 0.10, u1);
+        t.cpu_exponent = lerp(1.0, 0.8, u1);
+        t.mem_demand_gb = lerp(2.0, 10.0, u2);
+        t.sensitivity = makeSensitivity(
+            {0.35, 0.45, 0.30, 0.85, 0.70, 0.40, 0.30, 0.55},
+            {0.05, 0.03, 0.05, 0.00, 0.02, 0.04, 0.06, 0.02});
+    } else { // "mix": multiprogrammed 4-app mixes
+        t.parallelism = 4.0;
+        t.serial_fraction = lerp(0.10, 0.40, u1);
+        t.cpu_exponent = lerp(1.0, 0.7, u1);
+        t.mem_demand_gb = lerp(2.0, 8.0, u2);
+        t.sensitivity = makeSensitivity(
+            {0.30, 0.45, 0.30, 0.80, 0.80, 0.40, 0.30, 0.45},
+            {0.07, 0.03, 0.06, 0.01, 0.01, 0.04, 0.07, 0.03});
+    }
+
+    w.truth = t;
+    w.total_work = rng_.uniform(100.0, 600.0);
+    w.storage_gb_per_node = 2.0;
+    // Target: what the job gets from a couple of cores on a decent
+    // machine — placement quality matters, yet a good manager can
+    // meet it without hoarding.
+    w.target = PerformanceTarget::ips(
+        0.8 * t.base_rate * std::pow(0.8, t.cpu_exponent) *
+        amdahlSpeedup(t.serial_fraction,
+                      std::min(t.parallelism, 2.0)));
+    return w;
+}
+
+Workload
+WorkloadFactory::bestEffortJob(const std::string &name)
+{
+    // Skewed toward the low-parallelism families that dominate
+    // best-effort queues (SPEC-style single-app tasks).
+    static const char *families[] = {"spec-int", "spec-fp", "spec-int",
+                                     "spec-fp",  "mix",     "parsec",
+                                     "minebench"};
+    size_t f = size_t(rng_.uniformInt(0, 6));
+    Workload w = singleNodeJob(name, families[f]);
+    w.best_effort = true;
+    return w;
+}
+
+Workload
+WorkloadFactory::randomWorkload(const std::string &name)
+{
+    double x = rng_.uniform();
+    if (x < 0.55) {
+        static const char *families[] = {"spec-int", "spec-fp",
+                                         "parsec", "splash2",
+                                         "bioparallel", "minebench",
+                                         "specjbb", "mix"};
+        return singleNodeJob(name,
+                             families[rng_.uniformInt(0, 7)]);
+    }
+    if (x < 0.85) {
+        // Small analytics job: log-uniform dataset 1-60 GB.
+        double gb = std::exp(rng_.uniform(0.0, std::log(60.0)));
+        double y = rng_.uniform();
+        if (y < 0.6)
+            return hadoopJob(name, gb);
+        return y < 0.8 ? stormJob(name, gb) : sparkJob(name, gb);
+    }
+    // Small latency service.
+    double y = rng_.uniform();
+    if (y < 0.5) {
+        double qps = rng_.uniform(100.0, 400.0);
+        auto load = std::make_shared<tracegen::FluctuatingLoad>(
+            0.75 * qps, 0.25 * qps, rng_.uniform(1800.0, 7200.0));
+        return webService(name, qps, 0.1, load);
+    }
+    if (y < 0.8) {
+        double qps = rng_.uniform(50e3, 250e3);
+        auto load = std::make_shared<tracegen::FluctuatingLoad>(
+            0.7 * qps, 0.3 * qps, rng_.uniform(3600.0, 14400.0));
+        return memcachedService(name, qps, 200e-6,
+                                rng_.uniform(20.0, 100.0), load);
+    }
+    double qps = rng_.uniform(3e3, 15e3);
+    auto load = std::make_shared<tracegen::FluctuatingLoad>(
+        0.7 * qps, 0.3 * qps, rng_.uniform(3600.0, 14400.0));
+    return cassandraService(name, qps, 30e-3,
+                            rng_.uniform(100.0, 500.0), load);
+}
+
+void
+WorkloadFactory::addPhaseChange(Workload &w, double at_time)
+{
+    assert(at_time >= 0.0);
+    GroundTruth next = w.truth;
+    // Phase changes usually hurt: a new execution phase with a lower
+    // rate and a different working set.
+    next.base_rate *= rng_.uniform(0.45, 1.02);
+    next.mem_demand_gb =
+        std::clamp(next.mem_demand_gb * rng_.uniform(0.6, 2.0), 0.5,
+                   48.0);
+    // Interference behaviour shifts coherently: the new phase is
+    // systematically more (or less) sensitive across resources.
+    double shift = rng_.uniform(0.15, 0.45) *
+                   (rng_.chance(0.5) ? 1.0 : -1.0);
+    for (size_t i = 0; i < kNumSources; ++i) {
+        next.sensitivity.threshold[i] = std::clamp(
+            next.sensitivity.threshold[i] + shift +
+                rng_.uniform(-0.05, 0.05),
+            0.05, 0.98);
+        next.sensitivity.caused_per_core[i] = std::max(
+            0.0,
+            next.sensitivity.caused_per_core[i] * rng_.uniform(0.4, 2.2));
+    }
+    w.phase_change_time = at_time;
+    w.phase_truth = next;
+}
+
+PerformanceTarget
+WorkloadFactory::defaultAnalyticsTarget(const Workload &w,
+                                        const sim::Platform &best,
+                                        int nodes, double slack)
+{
+    assert(w.type == WorkloadType::Analytics && w.total_work > 0.0);
+    double best_rate = 0.0;
+    for (const ScaleUpConfig &cfg : scaleUpGrid(best, w.type))
+        best_rate = std::max(best_rate, w.truth.nodeRateQuiet(best, cfg));
+    std::vector<double> rates(size_t(nodes), best_rate);
+    double job_rate = w.truth.jobRate(rates);
+    assert(job_rate > 0.0);
+    return PerformanceTarget::completionTime(
+        slack * w.total_work / job_rate, w.total_work);
+}
+
+} // namespace quasar::workload

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Workload factory: generates the synthetic analogs of the paper's
+ * workload families — Hadoop/Storm/Spark analytics jobs (Mahout-style
+ * data mining over 1-900 GB datasets), memcached and webserver
+ * (HotCRP) latency-critical services, Cassandra-style stateful
+ * services, and SPEC/PARSEC-style single-node batch jobs.
+ *
+ * Each archetype draws its hidden GroundTruth parameters from
+ * archetype-specific distributions, so any two "Hadoop jobs" are
+ * related but not identical — the structure collaborative filtering
+ * exploits.
+ */
+
+#ifndef QUASAR_WORKLOAD_FACTORY_HH
+#define QUASAR_WORKLOAD_FACTORY_HH
+
+#include <string>
+
+#include "stats/rng.hh"
+#include "workload/workload.hh"
+
+namespace quasar::workload
+{
+
+/** Generates workloads with randomized hidden parameters. */
+class WorkloadFactory
+{
+  public:
+    explicit WorkloadFactory(stats::Rng rng) : rng_(rng) {}
+
+    /** @name Analytics frameworks */
+    /// @{
+    /** Hadoop-style batch job over a dataset of the given size. */
+    Workload hadoopJob(const std::string &name, double dataset_gb);
+    /** Storm-style streaming job (latency-lean analytics). */
+    Workload stormJob(const std::string &name, double dataset_gb);
+    /** Spark-style in-memory job (memory-hungry analytics). */
+    Workload sparkJob(const std::string &name, double dataset_gb);
+    /// @}
+
+    /** @name Latency-critical services */
+    /// @{
+    /** memcached-style in-memory key-value service. */
+    Workload memcachedService(const std::string &name, double peak_qps,
+                              double qos_s, double state_gb,
+                              tracegen::LoadPatternPtr load);
+    /** HotCRP/Apache-style webserving stack. */
+    Workload webService(const std::string &name, double peak_qps,
+                        double qos_s, tracegen::LoadPatternPtr load);
+    /** Cassandra-style disk-backed NoSQL store. */
+    Workload cassandraService(const std::string &name, double peak_qps,
+                              double qos_s, double state_gb,
+                              tracegen::LoadPatternPtr load);
+    /// @}
+
+    /**
+     * Single-node batch job from one of the benchmark families
+     * ("spec-int", "spec-fp", "parsec", "bioparallel", "minebench",
+     * "specjbb", "mix").
+     */
+    Workload singleNodeJob(const std::string &name,
+                           const std::string &family);
+
+    /** Random single-node best-effort filler task. */
+    Workload bestEffortJob(const std::string &name);
+
+    /**
+     * Random workload of any type, for the paper's 1200-workload
+     * large-scale mix (Fig. 11): ~40% single-node, ~35% analytics,
+     * ~25% services.
+     */
+    Workload randomWorkload(const std::string &name);
+
+    /**
+     * Give a workload a phase change at the given time: its hidden
+     * truth morphs (rate, memory demand, and interference behaviour),
+     * as in Sec. 4.1.
+     */
+    void addPhaseChange(Workload &w, double at_time);
+
+    /**
+     * Provisional completion-time target: the time the job would take
+     * at a healthy allocation (best platform, a few nodes), padded by
+     * slack. Benches that need the paper's "best after sweep" target
+     * override this.
+     */
+    static PerformanceTarget
+    defaultAnalyticsTarget(const Workload &w,
+                           const sim::Platform &best_platform,
+                           int nodes = 4, double slack = 1.15);
+
+    stats::Rng &rng() { return rng_; }
+
+  private:
+    interference::SensitivityProfile
+    makeSensitivity(const std::vector<double> &threshold_center,
+                    const std::vector<double> &caused_center);
+    GroundTruth analyticsTruth(double dataset_gb, double mem_hunger,
+                               double io_weight);
+
+    stats::Rng rng_;
+};
+
+} // namespace quasar::workload
+
+#endif // QUASAR_WORKLOAD_FACTORY_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Ground-truth performance model.
+ *
+ * This is the simulator's hidden function mapping (platform, scale-up
+ * configuration, node count, interference) to workload performance.
+ * The cluster managers never read it directly; they observe it through
+ * short noisy profiling runs and runtime monitoring, exactly as Quasar
+ * observes real workloads.
+ *
+ * The model composes:
+ *  - Amdahl scale-up in effective compute (cores x per-core speed),
+ *  - a saturating working-set memory curve with a thrash cliff,
+ *  - framework-knob response surfaces (mappers/node, heapsize,
+ *    compression) for analytics jobs,
+ *  - per-platform idiosyncrasy (deterministic hash noise) so the truth
+ *    is low-rank-plus-residual rather than exactly low rank,
+ *  - sub/super-linear scale-out with communication overhead,
+ *  - multiplicative interference degradation from SensitivityProfile,
+ *  - dataset complexity scaling.
+ *
+ * These are exactly the behaviour families the paper's Fig. 2 measures
+ * on real Hadoop and memcached deployments.
+ */
+
+#ifndef QUASAR_WORKLOAD_TRUTH_HH
+#define QUASAR_WORKLOAD_TRUTH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "interference/profile.hh"
+#include "sim/platform.hh"
+#include "workload/scale_up_config.hh"
+
+namespace quasar::workload
+{
+
+/** Hidden performance parameters of one workload + dataset. */
+struct GroundTruth
+{
+    WorkloadType type = WorkloadType::SingleNode;
+
+    /** Work-rate on one reference compute unit, work units/sec. */
+    double base_rate = 1.0;
+    /** Amdahl serial fraction for scale-up within a server. */
+    double serial_fraction = 0.05;
+    /** Max cores per node the workload can keep busy. */
+    double parallelism = 16.0;
+    /** Sensitivity to per-core speed (1 = CPU-bound, ~0.3 = IO). */
+    double cpu_exponent = 1.0;
+    /** Working-set size per node, GB. */
+    double mem_demand_gb = 4.0;
+    /** Rate bonus per doubling of memory beyond the working set. */
+    double mem_bonus = 0.03;
+    /** Scale-out exponent (alpha ~ 1; > 1 superlinear). */
+    double scale_out_alpha = 0.95;
+    /** Communication overhead per extra node. */
+    double scale_out_overhead = 0.01;
+    /** Sensitivity to the platform I/O tier. */
+    double io_exponent = 0.0;
+    /** Dataset complexity multiplier on rate (paper: up to 3x). */
+    double dataset_complexity = 1.0;
+
+    /** Interference caused/tolerated behaviour. */
+    interference::SensitivityProfile sensitivity;
+
+    /** @name Framework-knob response (Analytics only) */
+    /// @{
+    double mapper_ratio_opt = 1.5; ///< optimal mappers per core.
+    double mapper_tol = 0.6;       ///< log-space width of the optimum.
+    double heap_opt_gb = 1.0;      ///< optimal JVM heap.
+    double heap_tol = 0.8;         ///< log2-space width.
+    double compression_affinity = 0.0; ///< [-1, 1], >0 favors gzip.
+    /// @}
+
+    /** @name Latency-service shape */
+    /// @{
+    /** Work units consumed per request (capacity = rate/req_cost). */
+    double req_cost = 1e-3;
+    /// @}
+
+    /** Seed for deterministic per-platform idiosyncrasy. */
+    uint64_t idio_seed = 0;
+    /** Idiosyncrasy log-sigma (residual off the low-rank structure). */
+    double idio_sigma = 0.05;
+
+    /**
+     * True work rate of one node under the given configuration and
+     * normalized contention vector.
+     */
+    double nodeRate(const sim::Platform &platform,
+                    const ScaleUpConfig &cfg,
+                    const interference::IVector &contention) const;
+
+    /** Rate with zero contention. */
+    double nodeRateQuiet(const sim::Platform &platform,
+                         const ScaleUpConfig &cfg) const;
+
+    /** Scale-out efficiency factor for n nodes (applied to rate sum). */
+    double scaleOutEfficiency(int n) const;
+
+    /**
+     * Total job rate when the given per-node rates run together as one
+     * distributed job.
+     */
+    double jobRate(const std::vector<double> &node_rates) const;
+
+    /** Service capacity in QPS from a total work rate. */
+    double capacityQps(double total_rate) const;
+
+    /** Deterministic per-platform residual factor. */
+    double idiosyncrasy(const sim::Platform &platform) const;
+};
+
+/** Knob-response multiplier in (0, 1]; 1 at the per-job optimum. */
+double knobFactor(const GroundTruth &t, const ScaleUpConfig &cfg);
+
+/** Memory-adequacy multiplier: thrash cliff below the working set. */
+double memoryFactor(const GroundTruth &t, double memory_gb);
+
+/** Amdahl speedup over one reference compute unit. */
+double amdahlSpeedup(double serial_fraction, double effective_cores);
+
+} // namespace quasar::workload
+
+#endif // QUASAR_WORKLOAD_TRUTH_HH

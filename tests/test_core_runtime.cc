@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for the runtime-control pieces: monitor measurement and
+ * alerts, phase probing, the admission queue's wait accounting, and
+ * the straggler detectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/admission.hh"
+#include "core/classifier.hh"
+#include "core/monitor.hh"
+#include "core/straggler.hh"
+#include "workload/factory.hh"
+
+using namespace quasar;
+using namespace quasar::core;
+using workload::Workload;
+
+namespace
+{
+
+struct World
+{
+    sim::Cluster cluster = sim::Cluster::localCluster();
+    workload::WorkloadRegistry registry;
+    workload::WorkloadFactory factory{stats::Rng(61)};
+
+    WorkloadId placeBatch(double target_rate_scale)
+    {
+        Workload w = factory.hadoopJob("j", 30.0);
+        WorkloadId id = registry.add(w);
+        sim::TaskShare share;
+        share.workload = id;
+        share.cores = 8;
+        share.memory_gb = 16.0;
+        share.caused =
+            registry.get(id).causedPressure(0.0, share.cores);
+        cluster.server(36).place(share); // a J box
+        workload::PerfOracle oracle(cluster, registry);
+        double rate = oracle.currentRate(registry.get(id), 0.0);
+        registry.get(id).total_work = 1e18;
+        registry.get(id).target =
+            workload::PerformanceTarget::ips(rate * target_rate_scale);
+        return id;
+    }
+};
+
+} // namespace
+
+TEST(Monitor, NoAlertWhenOnTarget)
+{
+    World w;
+    WorkloadId id = w.placeBatch(1.0);
+    MonitorConfig cfg;
+    cfg.noise_sigma = 0.0;
+    Monitor m(w.cluster, w.registry, cfg, stats::Rng(1));
+    EXPECT_EQ(m.check(w.registry.get(id), 0.0), Alert::None);
+    EXPECT_NEAR(m.measure(w.registry.get(id), 0.0), 1.0, 1e-9);
+}
+
+TEST(Monitor, UnderperformAlert)
+{
+    World w;
+    WorkloadId id = w.placeBatch(2.0); // target is twice the delivery
+    MonitorConfig cfg;
+    cfg.noise_sigma = 0.0;
+    Monitor m(w.cluster, w.registry, cfg, stats::Rng(1));
+    EXPECT_EQ(m.check(w.registry.get(id), 0.0),
+              Alert::Underperforming);
+}
+
+TEST(Monitor, OverprovisionAlert)
+{
+    World w;
+    WorkloadId id = w.placeBatch(0.5); // delivering twice the target
+    MonitorConfig cfg;
+    cfg.noise_sigma = 0.0;
+    Monitor m(w.cluster, w.registry, cfg, stats::Rng(1));
+    EXPECT_EQ(m.check(w.registry.get(id), 0.0),
+              Alert::Overprovisioned);
+}
+
+TEST(Monitor, NoisyMeasurementStaysClose)
+{
+    World w;
+    WorkloadId id = w.placeBatch(1.0);
+    MonitorConfig cfg;
+    cfg.noise_sigma = 0.05;
+    Monitor m(w.cluster, w.registry, cfg, stats::Rng(1));
+    stats::Samples s;
+    for (int i = 0; i < 300; ++i)
+        s.add(m.measure(w.registry.get(id), 0.0));
+    EXPECT_NEAR(s.mean(), 1.0, 0.02);
+    EXPECT_GT(s.stddev(), 0.01);
+}
+
+TEST(Monitor, PhaseProbeFiresOnCoherentShift)
+{
+    World w;
+    profiling::Profiler profiler(w.cluster.catalog(), {});
+    Classifier clf(profiler, {}, 2);
+    std::vector<Workload> seeds;
+    for (int i = 0; i < 10; ++i)
+        seeds.push_back(
+            w.factory.hadoopJob("s", w.factory.rng().uniform(5, 150)));
+    clf.seedOffline(seeds, 0.0);
+
+    Workload job = w.factory.hadoopJob("j", 40.0);
+    WorkloadId id = w.registry.add(job);
+    Workload &live = w.registry.get(id);
+    stats::Rng rng(3);
+    auto data = profiler.profile(live, 0.0, rng);
+    auto est = clf.classify(live, data);
+
+    Monitor m(w.cluster, w.registry, {}, stats::Rng(4));
+    // Large coherent shift in the true tolerance.
+    live.phase_truth = live.truth;
+    for (size_t i = 0; i < interference::kNumSources; ++i)
+        live.phase_truth.sensitivity.threshold[i] = std::clamp(
+            live.phase_truth.sensitivity.threshold[i] - 0.5, 0.05,
+            0.98);
+    live.phase_change_time = 100.0;
+    EXPECT_TRUE(m.probePhaseChange(live, est, profiler, 150.0));
+}
+
+TEST(Admission, FifoDrainAndWaitAccounting)
+{
+    AdmissionQueue q;
+    EXPECT_TRUE(q.empty());
+    q.enqueue(1, 10.0);
+    q.enqueue(2, 20.0);
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_TRUE(q.contains(1));
+
+    auto retry = q.drainForRetry();
+    EXPECT_EQ(retry, (std::vector<WorkloadId>{1, 2}));
+    // 1 admitted at t = 50: waited 40.
+    q.admitted(1, 50.0);
+    // 2 fails again -> re-enqueued with the ORIGINAL wait start.
+    q.enqueue(2, 50.0);
+    auto retry2 = q.drainForRetry();
+    EXPECT_EQ(retry2, (std::vector<WorkloadId>{2}));
+    q.admitted(2, 100.0);
+    // Waits: 40 and 80.
+    EXPECT_EQ(q.waitTimes().count(), 2u);
+    EXPECT_DOUBLE_EQ(q.waitTimes().mean(), 60.0);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(Admission, AdmittedWithoutQueueingIsNoop)
+{
+    AdmissionQueue q;
+    q.admitted(9, 5.0);
+    EXPECT_EQ(q.waitTimes().count(), 0u);
+}
+
+TEST(Straggler, WaveConstruction)
+{
+    stats::Rng rng(7);
+    auto wave = TaskWave::make(rng, 100, 300.0, 0.1, 3.0);
+    EXPECT_EQ(wave.tasks.size(), 100u);
+    size_t stragglers = 0;
+    for (const auto &t : wave.tasks) {
+        EXPECT_GT(t.duration, 0.0);
+        if (t.straggler) {
+            ++stragglers;
+            EXPECT_GT(t.duration, 2.0 * 300.0);
+        }
+    }
+    EXPECT_GT(stragglers, 0u);
+    EXPECT_LT(stragglers, 30u);
+}
+
+TEST(Straggler, ProgressClampedAndLinear)
+{
+    MapTask t;
+    t.duration = 100.0;
+    EXPECT_DOUBLE_EQ(t.progressAt(50.0), 0.5);
+    EXPECT_DOUBLE_EQ(t.progressAt(500.0), 1.0);
+}
+
+TEST(Straggler, QuasarEarlierThanLateEarlierThanHadoop)
+{
+    stats::Rng rng(8);
+    DetectorConfig cfg;
+    double h = 0.0, l = 0.0, q = 0.0;
+    int n = 0;
+    for (int i = 0; i < 10; ++i) {
+        auto wave = TaskWave::make(rng, 60, 300.0, 0.1, 3.0);
+        auto dh = detectHadoop(wave, cfg, rng);
+        auto dl = detectLate(wave, cfg, rng);
+        auto dq = detectQuasar(wave, cfg, rng);
+        if (dh.meanDetectTime() > 0 && dl.meanDetectTime() > 0 &&
+            dq.meanDetectTime() > 0) {
+            h += dh.meanDetectTime();
+            l += dl.meanDetectTime();
+            q += dq.meanDetectTime();
+            ++n;
+        }
+    }
+    ASSERT_GT(n, 5);
+    EXPECT_LT(q, l);
+    EXPECT_LT(l, h);
+}
+
+TEST(Straggler, QuasarProbeFiltersFalsePositives)
+{
+    stats::Rng rng(9);
+    DetectorConfig cfg;
+    cfg.progress_noise = 0.3; // very noisy reports
+    size_t q_fp = 0;
+    for (int i = 0; i < 10; ++i) {
+        auto wave = TaskWave::make(rng, 60, 300.0, 0.08, 3.0);
+        q_fp += detectQuasar(wave, cfg, rng).falsePositives(wave);
+    }
+    EXPECT_EQ(q_fp, 0u); // the confirmation probe rejects them all
+}
+
+TEST(Straggler, RecallNearPerfectAtThreeX)
+{
+    stats::Rng rng(10);
+    DetectorConfig cfg;
+    auto wave = TaskWave::make(rng, 100, 300.0, 0.1, 3.0);
+    EXPECT_GE(detectHadoop(wave, cfg, rng).recall(wave), 0.9);
+    EXPECT_GE(detectQuasar(wave, cfg, rng).recall(wave), 0.9);
+}

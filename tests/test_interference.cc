@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the interference model: source bookkeeping, the
+ * sensitivity threshold/slope/floor behaviour, tolerated-intensity
+ * closed form, and microbenchmark intensity probing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "interference/microbench.hh"
+#include "interference/profile.hh"
+
+using namespace quasar::interference;
+
+TEST(Source, NamesAndCount)
+{
+    EXPECT_EQ(kNumSources, 8u);
+    EXPECT_EQ(sourceName(Source::MemoryBw), "memory");
+    EXPECT_EQ(sourceName(Source::Prefetch), "prefetch");
+    EXPECT_EQ(sourceAt(3), Source::DiskIO);
+}
+
+TEST(Source, VectorOps)
+{
+    IVector a = zeroVector();
+    a[0] = 1.0;
+    IVector b = zeroVector();
+    b[0] = 2.0;
+    b[7] = 1.0;
+    IVector sum = add(a, b);
+    EXPECT_DOUBLE_EQ(sum[0], 3.0);
+    EXPECT_DOUBLE_EQ(sum[7], 1.0);
+    IVector half = scale(sum, 0.5);
+    EXPECT_DOUBLE_EQ(half[0], 1.5);
+}
+
+namespace
+{
+
+SensitivityProfile
+profileWith(double threshold, double slope)
+{
+    SensitivityProfile p;
+    p.threshold.fill(threshold);
+    p.slope.fill(slope);
+    p.caused_per_core.fill(0.05);
+    return p;
+}
+
+} // namespace
+
+TEST(SensitivityProfile, NoDegradationBelowThreshold)
+{
+    SensitivityProfile p = profileWith(0.4, 2.0);
+    EXPECT_DOUBLE_EQ(p.sourceMultiplier(Source::Cpu, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(p.sourceMultiplier(Source::Cpu, 0.4), 1.0);
+}
+
+TEST(SensitivityProfile, LinearDegradationBeyondThreshold)
+{
+    SensitivityProfile p = profileWith(0.4, 2.0);
+    EXPECT_NEAR(p.sourceMultiplier(Source::Cpu, 0.6), 1.0 - 2.0 * 0.2,
+                1e-12);
+}
+
+TEST(SensitivityProfile, FloorBoundsLoss)
+{
+    SensitivityProfile p = profileWith(0.1, 10.0);
+    p.floor = 0.05;
+    EXPECT_DOUBLE_EQ(p.sourceMultiplier(Source::Cpu, 1.0), 0.05);
+    IVector all_high;
+    all_high.fill(1.0);
+    EXPECT_DOUBLE_EQ(p.multiplier(all_high), 0.05);
+}
+
+TEST(SensitivityProfile, MultiplierIsProductOverSources)
+{
+    SensitivityProfile p = profileWith(0.5, 1.0);
+    IVector c = zeroVector();
+    c[0] = 0.7; // -> 0.8
+    c[1] = 0.7; // -> 0.8
+    EXPECT_NEAR(p.multiplier(c), 0.64, 1e-12);
+}
+
+TEST(SensitivityProfile, ToleratedIntensityClosedForm)
+{
+    SensitivityProfile p = profileWith(0.3, 2.0);
+    // 5% loss at threshold + 0.05/2.
+    EXPECT_NEAR(p.toleratedIntensity(Source::L2Cache, 0.05), 0.325,
+                1e-12);
+    // Insensitive source: slope 0 -> tolerant at any intensity.
+    p.slope[0] = 0.0;
+    EXPECT_DOUBLE_EQ(p.toleratedIntensity(Source::MemoryBw), 1.0);
+}
+
+TEST(SensitivityProfile, CausedScalesWithCores)
+{
+    SensitivityProfile p = profileWith(0.3, 2.0);
+    IVector c4 = p.causedAt(4.0);
+    EXPECT_DOUBLE_EQ(c4[0], 0.2);
+}
+
+TEST(Microbenchmark, CausedVectorIsSingleSource)
+{
+    Microbenchmark mb{Source::Network, 0.6};
+    IVector v = mb.caused();
+    for (size_t i = 0; i < kNumSources; ++i)
+        EXPECT_DOUBLE_EQ(v[i],
+                         i == size_t(Source::Network) ? 0.6 : 0.0);
+}
+
+TEST(ProbeTolerance, MatchesClosedForm)
+{
+    SensitivityProfile p = profileWith(0.3, 2.0);
+    auto perf_at = [&](const IVector &iv) {
+        return 10.0 * p.multiplier(iv);
+    };
+    double probed =
+        probeToleratedIntensity(perf_at, Source::LLCache, 0.05, 0.01);
+    EXPECT_NEAR(probed, p.toleratedIntensity(Source::LLCache, 0.05),
+                0.011);
+}
+
+TEST(ProbeTolerance, InsensitiveWorkloadReturnsOne)
+{
+    auto perf_at = [](const IVector &) { return 5.0; };
+    EXPECT_DOUBLE_EQ(
+        probeToleratedIntensity(perf_at, Source::DiskIO), 1.0);
+}
+
+TEST(ProbeTolerance, DeadWorkloadReturnsZero)
+{
+    auto perf_at = [](const IVector &) { return 0.0; };
+    EXPECT_DOUBLE_EQ(
+        probeToleratedIntensity(perf_at, Source::DiskIO), 0.0);
+}
+
+TEST(ProbeTolerance, HypersensitiveDetectedImmediately)
+{
+    SensitivityProfile p = profileWith(0.0, 50.0);
+    auto perf_at = [&](const IVector &iv) {
+        return 10.0 * p.multiplier(iv);
+    };
+    EXPECT_LT(probeToleratedIntensity(perf_at, Source::Cpu), 0.03);
+}

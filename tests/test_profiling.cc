@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the profiler: sample counts per density, reference-column
+ * inclusion, heterogeneity's small canonical configuration, noise-free
+ * exactness, clamping, tolerance probing, and profiling-cost
+ * accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "profiling/profiler.hh"
+#include "workload/factory.hh"
+
+using namespace quasar;
+using namespace quasar::profiling;
+using workload::Workload;
+using workload::WorkloadType;
+
+namespace
+{
+
+struct World
+{
+    std::vector<sim::Platform> catalog = sim::localPlatforms();
+    workload::WorkloadFactory factory{stats::Rng(55)};
+    stats::Rng rng{56};
+};
+
+} // namespace
+
+TEST(Profiler, SelectsHighestEndPlatform)
+{
+    World w;
+    Profiler p(w.catalog, {});
+    EXPECT_EQ(w.catalog[p.scaleUpPlatform()].name, "J");
+}
+
+TEST(Profiler, ReferenceConfigIsGridMember)
+{
+    World w;
+    for (auto type : {WorkloadType::Analytics, WorkloadType::SingleNode,
+                      WorkloadType::LatencyService}) {
+        auto ref = Profiler::referenceConfig(w.catalog[9], type);
+        auto grid = workload::scaleUpGrid(w.catalog[9], type);
+        bool found = false;
+        for (const auto &cfg : grid)
+            found = found || cfg == ref;
+        EXPECT_TRUE(found);
+    }
+}
+
+TEST(Profiler, HetConfigFitsEveryPlatform)
+{
+    World w;
+    auto het = Profiler::hetConfig();
+    for (const sim::Platform &p : w.catalog) {
+        EXPECT_LE(het.cores, p.cores);
+        EXPECT_LE(het.memory_gb, p.memory_gb);
+    }
+    auto ec2 = sim::ec2Platforms();
+    for (const sim::Platform &p : ec2)
+        EXPECT_LE(het.cores, p.cores);
+}
+
+TEST(Profiler, SampleCountsFollowDensity)
+{
+    World w;
+    for (size_t density : {1u, 2u, 4u}) {
+        ProfilerConfig cfg;
+        cfg.samples_per_classification = density;
+        Profiler p(w.catalog, cfg);
+        Workload job = w.factory.hadoopJob("j", 40.0);
+        ProfilingData d = p.profile(job, 0.0, w.rng);
+        EXPECT_EQ(d.scale_up.size(), density);
+        EXPECT_EQ(d.scale_out.size(), density);
+        EXPECT_EQ(d.heterogeneity.size(), density);
+        EXPECT_EQ(d.interference.size(), density);
+        EXPECT_EQ(d.caused.size(), density);
+    }
+}
+
+TEST(Profiler, FirstSamplesAreTheNormalizers)
+{
+    World w;
+    Profiler p(w.catalog, {});
+    Workload job = w.factory.hadoopJob("j", 40.0);
+    ProfilingData d = p.profile(job, 0.0, w.rng);
+    // Scale-up sample 0 is the reference measurement.
+    EXPECT_DOUBLE_EQ(d.scale_up[0].value, d.reference_value);
+    // Scale-out sample 0 is n = 1.
+    EXPECT_EQ(d.scale_out[0].column, 0u);
+    // Heterogeneity sample 0 is the profiling platform.
+    EXPECT_EQ(d.heterogeneity[0].column, p.scaleUpPlatform());
+}
+
+TEST(Profiler, SingleNodeHasNoScaleOutSamples)
+{
+    World w;
+    Profiler p(w.catalog, {});
+    Workload job = w.factory.singleNodeJob("s", "spec-int");
+    ProfilingData d = p.profile(job, 0.0, w.rng);
+    EXPECT_TRUE(d.scale_out.empty());
+}
+
+TEST(Profiler, NoiseFreeMeasurementMatchesTruth)
+{
+    World w;
+    ProfilerConfig cfg;
+    cfg.noise_sigma = 0.0;
+    Profiler p(w.catalog, cfg);
+    Workload job = w.factory.singleNodeJob("s", "parsec");
+    workload::ScaleUpConfig c;
+    c.cores = 4;
+    c.memory_gb = 8.0;
+    double measured = p.measureNode(job, 0.0, w.catalog[9], c, w.rng);
+    EXPECT_DOUBLE_EQ(measured,
+                     job.truth.nodeRateQuiet(w.catalog[9], c));
+}
+
+TEST(Profiler, NoisyMeasurementVariesButUnbiased)
+{
+    World w;
+    ProfilerConfig cfg;
+    cfg.noise_sigma = 0.05;
+    Profiler p(w.catalog, cfg);
+    Workload job = w.factory.singleNodeJob("s", "parsec");
+    workload::ScaleUpConfig c;
+    c.cores = 4;
+    c.memory_gb = 8.0;
+    double truth = job.truth.nodeRateQuiet(w.catalog[9], c);
+    double sum = 0.0;
+    for (int i = 0; i < 500; ++i)
+        sum += p.measureNode(job, 0.0, w.catalog[9], c, w.rng);
+    EXPECT_NEAR(sum / 500.0 / truth, 1.0, 0.02);
+}
+
+TEST(Profiler, ConfigClampedToPlatform)
+{
+    World w;
+    workload::ScaleUpConfig c;
+    c.cores = 24;
+    c.memory_gb = 48.0;
+    auto clamped = Profiler::clampConfig(c, w.catalog[0]); // A: 2c/4GB
+    EXPECT_EQ(clamped.cores, 2);
+    EXPECT_DOUBLE_EQ(clamped.memory_gb, 4.0);
+}
+
+TEST(Profiler, ServicesMeasuredInQps)
+{
+    World w;
+    ProfilerConfig cfg;
+    cfg.noise_sigma = 0.0;
+    Profiler p(w.catalog, cfg);
+    Workload mc = w.factory.memcachedService(
+        "m", 1e5, 2e-4, 40.0, std::make_shared<tracegen::FlatLoad>(1e5));
+    auto ref = Profiler::referenceConfig(w.catalog[9], mc.type);
+    double v = p.measureNode(mc, 0.0, w.catalog[9], ref, w.rng);
+    // Capacity in QPS, far above the raw work rate.
+    EXPECT_GT(v, 1e4);
+}
+
+TEST(Profiler, ToleranceProbeMatchesTruth)
+{
+    World w;
+    Profiler p(w.catalog, {});
+    Workload job = w.factory.hadoopJob("j", 30.0);
+    auto ref = Profiler::referenceConfig(w.catalog[9], job.type);
+    for (size_t i = 0; i < interference::kNumSources; ++i) {
+        double probed = p.probeTolerance(job, 0.0, w.catalog[9], ref,
+                                         interference::sourceAt(i));
+        double truth = job.truth.sensitivity.toleratedIntensity(
+            interference::sourceAt(i));
+        EXPECT_NEAR(probed, truth, 0.025) << "source " << i;
+    }
+}
+
+TEST(Profiler, DenseRowsHaveGridWidths)
+{
+    World w;
+    Profiler p(w.catalog, {});
+    Workload job = w.factory.hadoopJob("j", 30.0);
+    auto grid = workload::scaleUpGrid(w.catalog[9], job.type);
+    stats::Rng z(1);
+    EXPECT_EQ(p.denseScaleUpRow(job, 0.0, z).size(), grid.size());
+    auto ref = Profiler::referenceConfig(w.catalog[9], job.type);
+    EXPECT_EQ(p.denseScaleOutRow(job, 0.0, ref, z).size(),
+              workload::scaleOutGrid().size());
+    EXPECT_EQ(p.denseHeterogeneityRow(job, 0.0, z).size(),
+              w.catalog.size());
+    EXPECT_EQ(p.denseInterferenceRow(job, 0.0, ref).size(),
+              interference::kNumSources);
+    EXPECT_EQ(p.denseCausedRow(job, 0.0, z).size(),
+              interference::kNumSources);
+}
+
+TEST(Profiler, ProfilingCostByType)
+{
+    World w;
+    Profiler p(w.catalog, {});
+    Workload batch = w.factory.singleNodeJob("s", "mix");
+    Workload hadoop = w.factory.hadoopJob("h", 30.0);
+    Workload mc = w.factory.memcachedService(
+        "m", 1e5, 2e-4, 40.0, std::make_shared<tracegen::FlatLoad>(1e5));
+    // Paper Sec. 3.4: seconds for services, minutes for analytics,
+    // warm-up dominated for stateful services.
+    EXPECT_LT(p.profilingSeconds(batch, 8), 60.0);
+    EXPECT_GT(p.profilingSeconds(hadoop, 8), 60.0);
+    EXPECT_GT(p.profilingSeconds(mc, 8),
+              p.profilingSeconds(hadoop, 8));
+    // More samples cost more.
+    EXPECT_GT(p.profilingSeconds(batch, 16),
+              p.profilingSeconds(batch, 8));
+}
+
+TEST(Profiler, PhaseChangeVisibleToReprofile)
+{
+    World w;
+    ProfilerConfig cfg;
+    cfg.noise_sigma = 0.0;
+    Profiler p(w.catalog, cfg);
+    Workload job = w.factory.hadoopJob("j", 30.0);
+    w.factory.addPhaseChange(job, 100.0);
+    workload::ScaleUpConfig c;
+    c.cores = 8;
+    c.memory_gb = 8.0;
+    double before = p.measureNode(job, 50.0, w.catalog[9], c, w.rng);
+    double after = p.measureNode(job, 150.0, w.catalog[9], c, w.rng);
+    EXPECT_NE(before, after);
+}

@@ -1,0 +1,9 @@
+#include <gtest/gtest.h>
+
+#include "core/manager.hh"
+
+TEST(Smoke, LibraryLinks)
+{
+    quasar::sim::Cluster cluster = quasar::sim::Cluster::localCluster();
+    EXPECT_EQ(cluster.size(), 40u);
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for load patterns and arrival processes: the flat /
+ * fluctuating / spike / diurnal / piecewise traffic shapes and the
+ * fixed and Poisson arrival generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/summary.hh"
+#include "tracegen/arrivals.hh"
+#include "tracegen/load_pattern.hh"
+
+using namespace quasar;
+using namespace quasar::tracegen;
+
+TEST(LoadPattern, FlatIsConstant)
+{
+    FlatLoad load(250.0);
+    EXPECT_DOUBLE_EQ(load.qpsAt(0.0), 250.0);
+    EXPECT_DOUBLE_EQ(load.qpsAt(1e6), 250.0);
+    EXPECT_DOUBLE_EQ(load.peakQps(), 250.0);
+}
+
+TEST(LoadPattern, FluctuatingOscillatesAroundMean)
+{
+    FluctuatingLoad load(300.0, 100.0, 3600.0);
+    double lo = 1e18, hi = 0.0, sum = 0.0;
+    int n = 0;
+    for (double t = 0.0; t < 3600.0; t += 10.0) {
+        double v = load.qpsAt(t);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+        sum += v;
+        ++n;
+    }
+    EXPECT_NEAR(lo, 200.0, 2.0);
+    EXPECT_NEAR(hi, 400.0, 2.0);
+    EXPECT_NEAR(sum / n, 300.0, 5.0);
+    EXPECT_DOUBLE_EQ(load.peakQps(), 400.0);
+}
+
+TEST(LoadPattern, SpikeShape)
+{
+    SpikeLoad load(100.0, 500.0, 1000.0, 100.0, 600.0);
+    EXPECT_DOUBLE_EQ(load.qpsAt(0.0), 100.0);
+    EXPECT_DOUBLE_EQ(load.qpsAt(999.0), 100.0);
+    EXPECT_NEAR(load.qpsAt(1050.0), 300.0, 1e-9); // mid-ramp
+    EXPECT_DOUBLE_EQ(load.qpsAt(1200.0), 500.0);  // at the top
+    EXPECT_DOUBLE_EQ(load.qpsAt(1700.0), 500.0);  // end of hold
+    EXPECT_NEAR(load.qpsAt(1750.0), 300.0, 1e-9); // mid-descent
+    EXPECT_DOUBLE_EQ(load.qpsAt(2000.0), 100.0);
+    EXPECT_DOUBLE_EQ(load.peakQps(), 500.0);
+}
+
+TEST(LoadPattern, DiurnalPeakAndTrough)
+{
+    DiurnalLoad load(100.0, 900.0, 86400.0, 14.0 * 3600.0);
+    EXPECT_NEAR(load.qpsAt(14.0 * 3600.0), 900.0, 1e-6);
+    EXPECT_NEAR(load.qpsAt(2.0 * 3600.0), 100.0, 1e-6);
+    // Periodic.
+    EXPECT_NEAR(load.qpsAt(14.0 * 3600.0 + 86400.0), 900.0, 1e-6);
+}
+
+TEST(LoadPattern, PiecewiseInterpolatesAndClamps)
+{
+    PiecewiseLoad load({{0.0, 10.0}, {100.0, 110.0}, {200.0, 50.0}});
+    EXPECT_DOUBLE_EQ(load.qpsAt(-10.0), 10.0);
+    EXPECT_DOUBLE_EQ(load.qpsAt(50.0), 60.0);
+    EXPECT_DOUBLE_EQ(load.qpsAt(150.0), 80.0);
+    EXPECT_DOUBLE_EQ(load.qpsAt(300.0), 50.0);
+    EXPECT_DOUBLE_EQ(load.peakQps(), 110.0);
+}
+
+TEST(Arrivals, FixedGapsAreExact)
+{
+    FixedInterArrival gaps(5.0);
+    stats::Rng rng(1);
+    auto times = arrivalTimes(gaps, 4, rng, 10.0);
+    EXPECT_EQ(times,
+              (std::vector<double>{10.0, 15.0, 20.0, 25.0}));
+}
+
+TEST(Arrivals, PoissonMeanGapMatchesRate)
+{
+    PoissonArrivals arrivals(0.5); // mean gap 2 s
+    stats::Rng rng(2);
+    auto times = arrivalTimes(arrivals, 5000, rng);
+    stats::Samples gaps;
+    for (size_t i = 1; i < times.size(); ++i)
+        gaps.add(times[i] - times[i - 1]);
+    EXPECT_NEAR(gaps.mean(), 2.0, 0.1);
+    // Times are non-decreasing.
+    for (size_t i = 1; i < times.size(); ++i)
+        EXPECT_GE(times[i], times[i - 1]);
+}

@@ -1,0 +1,495 @@
+/**
+ * @file
+ * Tests for the workload substrate: quantized configuration grids, the
+ * ground-truth performance model (Amdahl scale-up, memory cliff, knob
+ * response, scale-out families, platform idiosyncrasy), the queueing
+ * closed forms, targets, registry, and the performance oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/factory.hh"
+#include "workload/queueing.hh"
+#include "workload/workload.hh"
+
+using namespace quasar;
+using namespace quasar::workload;
+
+// ---------------------------------------------------------------- grids
+
+TEST(ScaleUpGrid, GenericGridQuantized)
+{
+    auto catalog = sim::localPlatforms();
+    auto grid = scaleUpGrid(catalog[9], WorkloadType::SingleNode);
+    EXPECT_FALSE(grid.empty());
+    for (const auto &cfg : grid) {
+        EXPECT_GE(cfg.cores, 1);
+        EXPECT_LE(cfg.cores, 24);
+        EXPECT_LE(cfg.memory_gb, 48.0);
+    }
+}
+
+TEST(ScaleUpGrid, AnalyticsHeapsMustFit)
+{
+    auto catalog = sim::localPlatforms();
+    auto grid = scaleUpGrid(catalog[9], WorkloadType::Analytics);
+    EXPECT_FALSE(grid.empty());
+    for (const auto &cfg : grid)
+        EXPECT_LE(cfg.knobs.mappers_per_node * cfg.knobs.heap_gb,
+                  cfg.memory_gb + 1e-9);
+}
+
+TEST(ScaleUpGrid, SmallPlatformNonEmptyForAnalytics)
+{
+    auto catalog = sim::localPlatforms();
+    // Platform A: 2 cores / 4 GB — the regression that once produced
+    // an empty grid.
+    auto grid = scaleUpGrid(catalog[0], WorkloadType::Analytics);
+    EXPECT_FALSE(grid.empty());
+}
+
+TEST(ScaleOutGrid, StartsAtOneAndIsMonotone)
+{
+    auto grid = scaleOutGrid(100);
+    ASSERT_FALSE(grid.empty());
+    EXPECT_EQ(grid.front(), 1);
+    EXPECT_EQ(grid.back(), 100);
+    for (size_t i = 1; i < grid.size(); ++i)
+        EXPECT_GT(grid[i], grid[i - 1]);
+}
+
+TEST(WorkloadTypes, Predicates)
+{
+    EXPECT_TRUE(isDistributed(WorkloadType::Analytics));
+    EXPECT_FALSE(isDistributed(WorkloadType::SingleNode));
+    EXPECT_TRUE(isLatencyCritical(WorkloadType::LatencyService));
+    EXPECT_TRUE(isLatencyCritical(WorkloadType::StatefulService));
+    EXPECT_FALSE(isLatencyCritical(WorkloadType::Analytics));
+}
+
+// ------------------------------------------------------------- truth
+
+TEST(Truth, AmdahlLimits)
+{
+    EXPECT_DOUBLE_EQ(amdahlSpeedup(0.0, 8.0), 8.0);
+    EXPECT_DOUBLE_EQ(amdahlSpeedup(1.0, 8.0), 1.0);
+    EXPECT_NEAR(amdahlSpeedup(0.1, 1e9), 10.0, 1e-6);
+}
+
+TEST(Truth, MemoryFactorCliffAndBonus)
+{
+    GroundTruth t;
+    t.mem_demand_gb = 8.0;
+    t.mem_bonus = 0.05;
+    EXPECT_DOUBLE_EQ(memoryFactor(t, 8.0), 1.0);
+    EXPECT_GT(memoryFactor(t, 16.0), 1.0);
+    EXPECT_LT(memoryFactor(t, 4.0), 1.0);
+    // Hard cliff but floored.
+    EXPECT_GE(memoryFactor(t, 0.5), 0.05);
+    EXPECT_LT(memoryFactor(t, 1.0), memoryFactor(t, 4.0));
+}
+
+TEST(Truth, KnobFactorPeaksAtOptimum)
+{
+    GroundTruth t;
+    t.type = WorkloadType::Analytics;
+    t.mapper_ratio_opt = 1.0;
+    t.heap_opt_gb = 1.5;
+    t.compression_affinity = 1.0;
+
+    ScaleUpConfig at_opt;
+    at_opt.cores = 8;
+    at_opt.memory_gb = 24.0;
+    at_opt.knobs.mappers_per_node = 8;
+    at_opt.knobs.heap_gb = 1.5;
+    at_opt.knobs.compression = Compression::Gzip;
+
+    ScaleUpConfig off = at_opt;
+    off.knobs.mappers_per_node = 2;
+    off.knobs.heap_gb = 0.75;
+    off.knobs.compression = Compression::Lzo;
+
+    EXPECT_GT(knobFactor(t, at_opt), knobFactor(t, off));
+    // Favorable compression can push the factor slightly above 1.
+    EXPECT_LE(knobFactor(t, at_opt), 1.05);
+    // Non-analytics ignore knobs entirely.
+    t.type = WorkloadType::SingleNode;
+    EXPECT_DOUBLE_EQ(knobFactor(t, off), 1.0);
+}
+
+TEST(Truth, NodeRateMonotoneInCoresForParallelWork)
+{
+    auto catalog = sim::localPlatforms();
+    GroundTruth t;
+    t.type = WorkloadType::SingleNode;
+    t.parallelism = 32.0;
+    t.serial_fraction = 0.05;
+    t.mem_demand_gb = 2.0;
+    ScaleUpConfig a, b;
+    a.cores = 2;
+    a.memory_gb = 8.0;
+    b.cores = 16;
+    b.memory_gb = 8.0;
+    EXPECT_GT(t.nodeRateQuiet(catalog[9], b),
+              t.nodeRateQuiet(catalog[9], a));
+}
+
+TEST(Truth, ParallelismCapsScaleUp)
+{
+    auto catalog = sim::localPlatforms();
+    GroundTruth t;
+    t.parallelism = 4.0;
+    t.serial_fraction = 0.0;
+    t.mem_demand_gb = 1.0;
+    ScaleUpConfig c4, c16;
+    c4.cores = 4;
+    c4.memory_gb = 8.0;
+    c16.cores = 16;
+    c16.memory_gb = 8.0;
+    EXPECT_NEAR(t.nodeRateQuiet(catalog[9], c4),
+                t.nodeRateQuiet(catalog[9], c16), 1e-9);
+}
+
+TEST(Truth, FasterPlatformFasterRate)
+{
+    auto catalog = sim::localPlatforms();
+    GroundTruth t;
+    t.idio_sigma = 0.0; // isolate the systematic effect
+    t.mem_demand_gb = 1.0;
+    ScaleUpConfig cfg;
+    cfg.cores = 2;
+    cfg.memory_gb = 2.0;
+    EXPECT_GT(t.nodeRateQuiet(catalog[9], cfg),
+              t.nodeRateQuiet(catalog[0], cfg));
+}
+
+TEST(Truth, IdiosyncrasyDeterministicPerPlatform)
+{
+    auto catalog = sim::localPlatforms();
+    GroundTruth t;
+    t.idio_seed = 1234;
+    t.idio_sigma = 0.1;
+    double a = t.idiosyncrasy(catalog[2]);
+    EXPECT_DOUBLE_EQ(a, t.idiosyncrasy(catalog[2]));
+    EXPECT_NE(a, t.idiosyncrasy(catalog[3]));
+    EXPECT_GT(a, 0.8);
+    EXPECT_LT(a, 1.25);
+}
+
+TEST(Truth, ScaleOutFamilies)
+{
+    GroundTruth sub;
+    sub.scale_out_alpha = 0.9;
+    sub.scale_out_overhead = 0.02;
+    GroundTruth super;
+    super.scale_out_alpha = 1.05;
+    super.scale_out_overhead = 0.0;
+    EXPECT_LT(sub.scaleOutEfficiency(8), 1.0);
+    EXPECT_GT(super.scaleOutEfficiency(8), 1.0);
+    EXPECT_DOUBLE_EQ(sub.scaleOutEfficiency(1), 1.0);
+
+    std::vector<double> four(4, 2.0);
+    EXPECT_NEAR(sub.jobRate(four), 8.0 * sub.scaleOutEfficiency(4),
+                1e-12);
+    EXPECT_DOUBLE_EQ(sub.jobRate({}), 0.0);
+}
+
+TEST(Truth, InterferenceReducesRate)
+{
+    auto catalog = sim::localPlatforms();
+    GroundTruth t;
+    t.mem_demand_gb = 2.0;
+    t.sensitivity.threshold.fill(0.2);
+    t.sensitivity.slope.fill(2.0);
+    ScaleUpConfig cfg;
+    cfg.cores = 4;
+    cfg.memory_gb = 4.0;
+    auto iv = interference::zeroVector();
+    iv[0] = 0.8;
+    EXPECT_LT(t.nodeRate(catalog[9], cfg, iv),
+              t.nodeRateQuiet(catalog[9], cfg));
+}
+
+// ---------------------------------------------------------- queueing
+
+TEST(Queueing, LatencyDivergesNearSaturation)
+{
+    double lo = percentileLatency(100.0, 1000.0);
+    double hi = percentileLatency(950.0, 1000.0);
+    EXPECT_LT(lo, hi);
+    EXPECT_DOUBLE_EQ(percentileLatency(1000.0, 1000.0),
+                     kSaturatedLatency);
+    EXPECT_DOUBLE_EQ(percentileLatency(10.0, 0.0), kSaturatedLatency);
+}
+
+TEST(Queueing, MaxQpsWithinQosInvertsLatency)
+{
+    double cap = 1000.0, qos = 0.05;
+    double knee = maxQpsWithinQos(cap, qos);
+    EXPECT_GT(knee, 0.0);
+    EXPECT_LT(knee, cap);
+    EXPECT_NEAR(percentileLatency(knee, cap), qos, 1e-9);
+    // Capacity too small for the QoS at any load.
+    EXPECT_DOUBLE_EQ(maxQpsWithinQos(10.0, qos), 0.0);
+}
+
+TEST(Queueing, FractionMeetingQosBehaviour)
+{
+    EXPECT_NEAR(fractionMeetingQos(0.0, 1000.0, 0.05), 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(fractionMeetingQos(1200.0, 1000.0, 0.05), 0.0);
+    double mid = fractionMeetingQos(900.0, 1000.0, 0.05);
+    EXPECT_GT(mid, 0.9);
+    EXPECT_LT(mid, 1.0);
+}
+
+TEST(Queueing, ServedQpsClamped)
+{
+    EXPECT_DOUBLE_EQ(servedQps(500.0, 1000.0), 500.0);
+    EXPECT_DOUBLE_EQ(servedQps(1500.0, 1000.0), 1000.0);
+    EXPECT_DOUBLE_EQ(servedQps(-5.0, 1000.0), 0.0);
+}
+
+// ----------------------------------------------------- targets & registry
+
+TEST(PerformanceTarget, Factories)
+{
+    auto ct = PerformanceTarget::completionTime(100.0, 500.0);
+    EXPECT_EQ(ct.kind, TargetKind::CompletionTime);
+    EXPECT_DOUBLE_EQ(ct.rate, 5.0);
+    auto ql = PerformanceTarget::qpsLatency(1e5, 2e-4);
+    EXPECT_EQ(ql.kind, TargetKind::QpsLatency);
+    auto ips = PerformanceTarget::ips(2.0);
+    EXPECT_DOUBLE_EQ(ips.rate, 2.0);
+}
+
+TEST(Registry, AddAndLifecycle)
+{
+    WorkloadRegistry reg;
+    Workload w;
+    w.name = "x";
+    WorkloadId a = reg.add(w);
+    WorkloadId b = reg.add(w);
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 1u);
+    EXPECT_EQ(reg.size(), 2u);
+    EXPECT_EQ(reg.active().size(), 2u);
+    reg.get(a).completed = true;
+    reg.get(b).killed = true;
+    EXPECT_TRUE(reg.active().empty());
+    EXPECT_EQ(reg.all().size(), 2u);
+}
+
+TEST(Workload, PhaseTruthSwitch)
+{
+    Workload w;
+    w.truth.base_rate = 1.0;
+    w.phase_truth = w.truth;
+    w.phase_truth.base_rate = 2.0;
+    w.phase_change_time = 100.0;
+    EXPECT_DOUBLE_EQ(w.truthAt(50.0).base_rate, 1.0);
+    EXPECT_DOUBLE_EQ(w.truthAt(150.0).base_rate, 2.0);
+    w.phase_change_time = -1.0;
+    EXPECT_DOUBLE_EQ(w.truthAt(150.0).base_rate, 1.0);
+}
+
+TEST(Workload, OfferedQpsOnlyForServices)
+{
+    Workload w;
+    w.type = WorkloadType::StatefulService;
+    w.load = std::make_shared<tracegen::FlatLoad>(100.0);
+    EXPECT_DOUBLE_EQ(w.offeredQps(5.0), 100.0);
+    w.type = WorkloadType::Analytics;
+    EXPECT_DOUBLE_EQ(w.offeredQps(5.0), 0.0);
+}
+
+// -------------------------------------------------------------- oracle
+
+namespace
+{
+
+struct OracleWorld
+{
+    sim::Cluster cluster = sim::Cluster::localCluster();
+    WorkloadRegistry registry;
+    PerfOracle oracle{cluster, registry};
+
+    WorkloadId place(Workload w, int cores, double mem,
+                     std::vector<ServerId> servers)
+    {
+        WorkloadId id = registry.add(std::move(w));
+        for (ServerId s : servers) {
+            sim::TaskShare share;
+            share.workload = id;
+            share.cores = cores;
+            share.memory_gb = mem;
+            share.caused =
+                registry.get(id).causedPressure(0.0, cores);
+            cluster.server(s).place(share);
+        }
+        return id;
+    }
+};
+
+} // namespace
+
+TEST(PerfOracle, RateMatchesTruthForSinglePlacement)
+{
+    OracleWorld world;
+    WorkloadFactory f{stats::Rng(5)};
+    Workload w = f.singleNodeJob("job", "parsec");
+    // Server 36 is a J box.
+    WorkloadId id = world.place(w, 8, 8.0, {36});
+    const Workload &live = world.registry.get(id);
+    ScaleUpConfig cfg;
+    cfg.cores = 8;
+    cfg.memory_gb = 8.0;
+    double expect = live.truth.nodeRateQuiet(
+        world.cluster.server(36).platform(), cfg);
+    EXPECT_NEAR(world.oracle.currentRate(live, 0.0), expect, 1e-9);
+}
+
+TEST(PerfOracle, UnplacedWorkloadHasZeroRate)
+{
+    OracleWorld world;
+    WorkloadFactory f{stats::Rng(5)};
+    WorkloadId id = world.registry.add(f.singleNodeJob("j", "mix"));
+    EXPECT_DOUBLE_EQ(
+        world.oracle.currentRate(world.registry.get(id), 0.0), 0.0);
+}
+
+TEST(PerfOracle, CoLocationDegradesBoth)
+{
+    OracleWorld world;
+    WorkloadFactory f{stats::Rng(6)};
+    Workload a = f.hadoopJob("a", 50.0);
+    a.truth.sensitivity.threshold.fill(0.05);
+    a.truth.sensitivity.slope.fill(2.0);
+    Workload b = f.hadoopJob("b", 50.0);
+    b.truth.sensitivity.caused_per_core.fill(0.2);
+    WorkloadId ida = world.place(a, 8, 8.0, {36});
+    double solo = world.oracle.currentRate(world.registry.get(ida),
+                                           0.0);
+    world.place(b, 8, 8.0, {36});
+    double shared = world.oracle.currentRate(world.registry.get(ida),
+                                             0.0);
+    EXPECT_LT(shared, solo);
+}
+
+TEST(PerfOracle, ServiceCapacityAndQoS)
+{
+    OracleWorld world;
+    WorkloadFactory f{stats::Rng(7)};
+    Workload mc = f.memcachedService(
+        "mc", 1e5, 200e-6, 40.0,
+        std::make_shared<tracegen::FlatLoad>(1e5));
+    WorkloadId id = world.place(mc, 16, 32.0, {36, 37});
+    const Workload &live = world.registry.get(id);
+    double cap = world.oracle.serviceCapacityQps(live, 0.0);
+    EXPECT_GT(cap, 0.0);
+    double p99 = world.oracle.serviceP99(live, 0.0);
+    if (1e5 < cap)
+        EXPECT_LT(p99, kSaturatedLatency);
+    // Normalized perf for services is capacity-within-QoS over
+    // offered load: above 1 means headroom.
+    double norm = world.oracle.normalizedPerformance(live, 0.0);
+    EXPECT_GE(norm, 0.0);
+}
+
+TEST(PerfOracle, DegradationWindowReducesRate)
+{
+    OracleWorld world;
+    WorkloadFactory f{stats::Rng(8)};
+    Workload w = f.hadoopJob("j", 20.0);
+    WorkloadId id = world.place(w, 8, 8.0, {36});
+    Workload &live = world.registry.get(id);
+    double before = world.oracle.currentRate(live, 0.0);
+    live.degraded_until = 100.0;
+    live.degraded_factor = 0.5;
+    EXPECT_NEAR(world.oracle.currentRate(live, 50.0), 0.5 * before,
+                1e-9);
+    EXPECT_NEAR(world.oracle.currentRate(live, 150.0), before, 1e-9);
+}
+
+TEST(PerfOracle, UsedCoresRespectsParallelismAndLoad)
+{
+    OracleWorld world;
+    WorkloadFactory f{stats::Rng(9)};
+    Workload w = f.singleNodeJob("spec", "spec-int"); // parallelism 1
+    WorkloadId id = world.place(w, 8, 4.0, {36});
+    const sim::TaskShare *share = world.cluster.server(36).share(id);
+    double used = world.oracle.usedCores(world.registry.get(id),
+                                         *share, 0.0);
+    EXPECT_LE(used, 1.0 + 1e-9);
+}
+
+// -------------------------------------------------------------- factory
+
+TEST(Factory, DeterministicForSeed)
+{
+    WorkloadFactory a{stats::Rng(11)}, b{stats::Rng(11)};
+    Workload wa = a.hadoopJob("x", 50.0);
+    Workload wb = b.hadoopJob("x", 50.0);
+    EXPECT_DOUBLE_EQ(wa.truth.base_rate, wb.truth.base_rate);
+    EXPECT_DOUBLE_EQ(wa.total_work, wb.total_work);
+}
+
+TEST(Factory, ArchetypesHaveSaneShapes)
+{
+    WorkloadFactory f{stats::Rng(12)};
+    Workload h = f.hadoopJob("h", 100.0);
+    EXPECT_EQ(h.type, WorkloadType::Analytics);
+    EXPECT_GT(h.total_work, 0.0);
+    EXPECT_LE(h.truth.mem_demand_gb, 16.0);
+
+    Workload mc = f.memcachedService(
+        "m", 2e5, 2e-4, 64.0, std::make_shared<tracegen::FlatLoad>(2e5));
+    EXPECT_EQ(mc.type, WorkloadType::StatefulService);
+    EXPECT_GT(mc.truth.capacityQps(10.0), 1e4); // low req_cost
+
+    Workload spec = f.singleNodeJob("s", "spec-int");
+    EXPECT_DOUBLE_EQ(spec.truth.parallelism, 1.0);
+    EXPECT_DOUBLE_EQ(spec.truth.serial_fraction, 1.0);
+
+    Workload be = f.bestEffortJob("b");
+    EXPECT_TRUE(be.best_effort);
+}
+
+TEST(Factory, PhaseChangeInstalls)
+{
+    WorkloadFactory f{stats::Rng(13)};
+    Workload w = f.hadoopJob("h", 30.0);
+    f.addPhaseChange(w, 500.0);
+    EXPECT_DOUBLE_EQ(w.phase_change_time, 500.0);
+    // The phase truth differs somewhere measurable.
+    bool differs = w.phase_truth.base_rate != w.truth.base_rate ||
+                   w.phase_truth.mem_demand_gb !=
+                       w.truth.mem_demand_gb;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Factory, RandomWorkloadMixCoversTypes)
+{
+    WorkloadFactory f{stats::Rng(14)};
+    int types[4] = {0, 0, 0, 0};
+    for (int i = 0; i < 200; ++i)
+        ++types[size_t(f.randomWorkload("w").type)];
+    EXPECT_GT(types[size_t(WorkloadType::SingleNode)], 60);
+    EXPECT_GT(types[size_t(WorkloadType::Analytics)], 30);
+    EXPECT_GT(types[size_t(WorkloadType::LatencyService)] +
+                  types[size_t(WorkloadType::StatefulService)],
+              10);
+}
+
+TEST(Factory, DefaultAnalyticsTargetAchievable)
+{
+    WorkloadFactory f{stats::Rng(15)};
+    auto catalog = sim::localPlatforms();
+    Workload w = f.hadoopJob("h", 40.0);
+    auto target = WorkloadFactory::defaultAnalyticsTarget(
+        w, catalog[sim::highestEndPlatform(catalog)]);
+    EXPECT_EQ(target.kind, TargetKind::CompletionTime);
+    EXPECT_GT(target.completion_time_s, 0.0);
+    EXPECT_GT(target.rate, 0.0);
+}
