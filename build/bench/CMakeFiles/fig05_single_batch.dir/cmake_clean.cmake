@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_single_batch.dir/fig05_single_batch.cc.o"
+  "CMakeFiles/fig05_single_batch.dir/fig05_single_batch.cc.o.d"
+  "fig05_single_batch"
+  "fig05_single_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_single_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_multibatch.dir/fig06_multibatch.cc.o"
+  "CMakeFiles/fig06_multibatch.dir/fig06_multibatch.cc.o.d"
+  "fig06_multibatch"
+  "fig06_multibatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_multibatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_lowlatency_service.dir/fig08_lowlatency_service.cc.o"
+  "CMakeFiles/fig08_lowlatency_service.dir/fig08_lowlatency_service.cc.o.d"
+  "fig08_lowlatency_service"
+  "fig08_lowlatency_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_lowlatency_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_stateful_services.dir/fig09_stateful_services.cc.o"
+  "CMakeFiles/fig09_stateful_services.dir/fig09_stateful_services.cc.o.d"
+  "fig09_stateful_services"
+  "fig09_stateful_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_stateful_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

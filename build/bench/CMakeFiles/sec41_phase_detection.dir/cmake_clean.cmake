@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec41_phase_detection.dir/sec41_phase_detection.cc.o"
+  "CMakeFiles/sec41_phase_detection.dir/sec41_phase_detection.cc.o.d"
+  "sec41_phase_detection"
+  "sec41_phase_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec41_phase_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

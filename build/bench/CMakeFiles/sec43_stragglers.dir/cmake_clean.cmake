@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec43_stragglers.dir/sec43_stragglers.cc.o"
+  "CMakeFiles/sec43_stragglers.dir/sec43_stragglers.cc.o.d"
+  "sec43_stragglers"
+  "sec43_stragglers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec43_stragglers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec44_extensions.dir/sec44_extensions.cc.o"
+  "CMakeFiles/sec44_extensions.dir/sec44_extensions.cc.o.d"
+  "sec44_extensions"
+  "sec44_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec44_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

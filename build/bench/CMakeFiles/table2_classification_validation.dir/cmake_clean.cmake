@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_classification_validation.dir/table2_classification_validation.cc.o"
+  "CMakeFiles/table2_classification_validation.dir/table2_classification_validation.cc.o.d"
+  "table2_classification_validation"
+  "table2_classification_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_classification_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

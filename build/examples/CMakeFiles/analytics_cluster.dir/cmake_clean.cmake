@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_cluster.dir/analytics_cluster.cpp.o"
+  "CMakeFiles/analytics_cluster.dir/analytics_cluster.cpp.o.d"
+  "analytics_cluster"
+  "analytics_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

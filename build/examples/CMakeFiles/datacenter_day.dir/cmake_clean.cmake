@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_day.dir/datacenter_day.cpp.o"
+  "CMakeFiles/datacenter_day.dir/datacenter_day.cpp.o.d"
+  "datacenter_day"
+  "datacenter_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_service.dir/latency_service.cpp.o"
+  "CMakeFiles/latency_service.dir/latency_service.cpp.o.d"
+  "latency_service"
+  "latency_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

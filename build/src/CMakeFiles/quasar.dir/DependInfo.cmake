@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/autoscale.cc" "src/CMakeFiles/quasar.dir/baselines/autoscale.cc.o" "gcc" "src/CMakeFiles/quasar.dir/baselines/autoscale.cc.o.d"
+  "/root/repo/src/baselines/framework_scheduler.cc" "src/CMakeFiles/quasar.dir/baselines/framework_scheduler.cc.o" "gcc" "src/CMakeFiles/quasar.dir/baselines/framework_scheduler.cc.o.d"
+  "/root/repo/src/baselines/paragon.cc" "src/CMakeFiles/quasar.dir/baselines/paragon.cc.o" "gcc" "src/CMakeFiles/quasar.dir/baselines/paragon.cc.o.d"
+  "/root/repo/src/baselines/reservation_ll.cc" "src/CMakeFiles/quasar.dir/baselines/reservation_ll.cc.o" "gcc" "src/CMakeFiles/quasar.dir/baselines/reservation_ll.cc.o.d"
+  "/root/repo/src/core/admission.cc" "src/CMakeFiles/quasar.dir/core/admission.cc.o" "gcc" "src/CMakeFiles/quasar.dir/core/admission.cc.o.d"
+  "/root/repo/src/core/classifier.cc" "src/CMakeFiles/quasar.dir/core/classifier.cc.o" "gcc" "src/CMakeFiles/quasar.dir/core/classifier.cc.o.d"
+  "/root/repo/src/core/estimate.cc" "src/CMakeFiles/quasar.dir/core/estimate.cc.o" "gcc" "src/CMakeFiles/quasar.dir/core/estimate.cc.o.d"
+  "/root/repo/src/core/manager.cc" "src/CMakeFiles/quasar.dir/core/manager.cc.o" "gcc" "src/CMakeFiles/quasar.dir/core/manager.cc.o.d"
+  "/root/repo/src/core/monitor.cc" "src/CMakeFiles/quasar.dir/core/monitor.cc.o" "gcc" "src/CMakeFiles/quasar.dir/core/monitor.cc.o.d"
+  "/root/repo/src/core/predictor.cc" "src/CMakeFiles/quasar.dir/core/predictor.cc.o" "gcc" "src/CMakeFiles/quasar.dir/core/predictor.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/CMakeFiles/quasar.dir/core/scheduler.cc.o" "gcc" "src/CMakeFiles/quasar.dir/core/scheduler.cc.o.d"
+  "/root/repo/src/core/straggler.cc" "src/CMakeFiles/quasar.dir/core/straggler.cc.o" "gcc" "src/CMakeFiles/quasar.dir/core/straggler.cc.o.d"
+  "/root/repo/src/driver/scenario.cc" "src/CMakeFiles/quasar.dir/driver/scenario.cc.o" "gcc" "src/CMakeFiles/quasar.dir/driver/scenario.cc.o.d"
+  "/root/repo/src/interference/microbench.cc" "src/CMakeFiles/quasar.dir/interference/microbench.cc.o" "gcc" "src/CMakeFiles/quasar.dir/interference/microbench.cc.o.d"
+  "/root/repo/src/interference/profile.cc" "src/CMakeFiles/quasar.dir/interference/profile.cc.o" "gcc" "src/CMakeFiles/quasar.dir/interference/profile.cc.o.d"
+  "/root/repo/src/interference/source.cc" "src/CMakeFiles/quasar.dir/interference/source.cc.o" "gcc" "src/CMakeFiles/quasar.dir/interference/source.cc.o.d"
+  "/root/repo/src/linalg/completion.cc" "src/CMakeFiles/quasar.dir/linalg/completion.cc.o" "gcc" "src/CMakeFiles/quasar.dir/linalg/completion.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/quasar.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/quasar.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/pq_model.cc" "src/CMakeFiles/quasar.dir/linalg/pq_model.cc.o" "gcc" "src/CMakeFiles/quasar.dir/linalg/pq_model.cc.o.d"
+  "/root/repo/src/linalg/svd.cc" "src/CMakeFiles/quasar.dir/linalg/svd.cc.o" "gcc" "src/CMakeFiles/quasar.dir/linalg/svd.cc.o.d"
+  "/root/repo/src/profiling/profiler.cc" "src/CMakeFiles/quasar.dir/profiling/profiler.cc.o" "gcc" "src/CMakeFiles/quasar.dir/profiling/profiler.cc.o.d"
+  "/root/repo/src/sim/cluster.cc" "src/CMakeFiles/quasar.dir/sim/cluster.cc.o" "gcc" "src/CMakeFiles/quasar.dir/sim/cluster.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/quasar.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/quasar.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/platform.cc" "src/CMakeFiles/quasar.dir/sim/platform.cc.o" "gcc" "src/CMakeFiles/quasar.dir/sim/platform.cc.o.d"
+  "/root/repo/src/sim/server.cc" "src/CMakeFiles/quasar.dir/sim/server.cc.o" "gcc" "src/CMakeFiles/quasar.dir/sim/server.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/quasar.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/quasar.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/rng.cc" "src/CMakeFiles/quasar.dir/stats/rng.cc.o" "gcc" "src/CMakeFiles/quasar.dir/stats/rng.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/CMakeFiles/quasar.dir/stats/summary.cc.o" "gcc" "src/CMakeFiles/quasar.dir/stats/summary.cc.o.d"
+  "/root/repo/src/stats/timeseries.cc" "src/CMakeFiles/quasar.dir/stats/timeseries.cc.o" "gcc" "src/CMakeFiles/quasar.dir/stats/timeseries.cc.o.d"
+  "/root/repo/src/tracegen/arrivals.cc" "src/CMakeFiles/quasar.dir/tracegen/arrivals.cc.o" "gcc" "src/CMakeFiles/quasar.dir/tracegen/arrivals.cc.o.d"
+  "/root/repo/src/tracegen/load_pattern.cc" "src/CMakeFiles/quasar.dir/tracegen/load_pattern.cc.o" "gcc" "src/CMakeFiles/quasar.dir/tracegen/load_pattern.cc.o.d"
+  "/root/repo/src/tracegen/reservation_model.cc" "src/CMakeFiles/quasar.dir/tracegen/reservation_model.cc.o" "gcc" "src/CMakeFiles/quasar.dir/tracegen/reservation_model.cc.o.d"
+  "/root/repo/src/workload/factory.cc" "src/CMakeFiles/quasar.dir/workload/factory.cc.o" "gcc" "src/CMakeFiles/quasar.dir/workload/factory.cc.o.d"
+  "/root/repo/src/workload/queueing.cc" "src/CMakeFiles/quasar.dir/workload/queueing.cc.o" "gcc" "src/CMakeFiles/quasar.dir/workload/queueing.cc.o.d"
+  "/root/repo/src/workload/scale_up_config.cc" "src/CMakeFiles/quasar.dir/workload/scale_up_config.cc.o" "gcc" "src/CMakeFiles/quasar.dir/workload/scale_up_config.cc.o.d"
+  "/root/repo/src/workload/truth.cc" "src/CMakeFiles/quasar.dir/workload/truth.cc.o" "gcc" "src/CMakeFiles/quasar.dir/workload/truth.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/quasar.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/quasar.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cc" "tests/CMakeFiles/quasar_tests.dir/test_baselines.cc.o" "gcc" "tests/CMakeFiles/quasar_tests.dir/test_baselines.cc.o.d"
+  "/root/repo/tests/test_classifier.cc" "tests/CMakeFiles/quasar_tests.dir/test_classifier.cc.o" "gcc" "tests/CMakeFiles/quasar_tests.dir/test_classifier.cc.o.d"
+  "/root/repo/tests/test_core_runtime.cc" "tests/CMakeFiles/quasar_tests.dir/test_core_runtime.cc.o" "gcc" "tests/CMakeFiles/quasar_tests.dir/test_core_runtime.cc.o.d"
+  "/root/repo/tests/test_driver.cc" "tests/CMakeFiles/quasar_tests.dir/test_driver.cc.o" "gcc" "tests/CMakeFiles/quasar_tests.dir/test_driver.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/quasar_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/quasar_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_headlines.cc" "tests/CMakeFiles/quasar_tests.dir/test_headlines.cc.o" "gcc" "tests/CMakeFiles/quasar_tests.dir/test_headlines.cc.o.d"
+  "/root/repo/tests/test_interference.cc" "tests/CMakeFiles/quasar_tests.dir/test_interference.cc.o" "gcc" "tests/CMakeFiles/quasar_tests.dir/test_interference.cc.o.d"
+  "/root/repo/tests/test_linalg.cc" "tests/CMakeFiles/quasar_tests.dir/test_linalg.cc.o" "gcc" "tests/CMakeFiles/quasar_tests.dir/test_linalg.cc.o.d"
+  "/root/repo/tests/test_manager.cc" "tests/CMakeFiles/quasar_tests.dir/test_manager.cc.o" "gcc" "tests/CMakeFiles/quasar_tests.dir/test_manager.cc.o.d"
+  "/root/repo/tests/test_misc.cc" "tests/CMakeFiles/quasar_tests.dir/test_misc.cc.o" "gcc" "tests/CMakeFiles/quasar_tests.dir/test_misc.cc.o.d"
+  "/root/repo/tests/test_profiling.cc" "tests/CMakeFiles/quasar_tests.dir/test_profiling.cc.o" "gcc" "tests/CMakeFiles/quasar_tests.dir/test_profiling.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/quasar_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/quasar_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_scheduler.cc" "tests/CMakeFiles/quasar_tests.dir/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/quasar_tests.dir/test_scheduler.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/quasar_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/quasar_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/quasar_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/quasar_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/quasar_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/quasar_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_tracegen.cc" "tests/CMakeFiles/quasar_tests.dir/test_tracegen.cc.o" "gcc" "tests/CMakeFiles/quasar_tests.dir/test_tracegen.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/quasar_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/quasar_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quasar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
