@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a sanitizer pass, suitable for CI.
+#
+#   1. Configure + build the default tree and run the full ctest
+#      suite (the repo's tier-1 gate).
+#   2. Build the test binary and the fault-recovery bench with
+#      -fsanitize=address,undefined (QUASAR_SANITIZE=ON) and run
+#      both; any sanitizer report fails the script.
+#
+# Usage: ci/check.sh [jobs]   (defaults to nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== sanitizer: ASan+UBSan build of tests + fault bench =="
+cmake -B build-asan -S . -DQUASAR_SANITIZE=ON \
+      -DCMAKE_BUILD_TYPE=Debug >/dev/null
+cmake --build build-asan -j "$JOBS" --target quasar_tests fault_recovery
+./build-asan/tests/quasar_tests
+./build-asan/bench/fault_recovery
+
+echo "== all checks passed =="

@@ -150,6 +150,40 @@ AutoScaleManager::onCompletion(WorkloadId, double t)
     (void)t;
 }
 
+void
+AutoScaleManager::onServerDown(ServerId,
+                               const std::vector<WorkloadId> &displaced,
+                               double t)
+{
+    // Services that lost *some* instances recover through the normal
+    // utilization-driven scale-out loop; a service (or batch job) that
+    // lost *all* of them is invisible to that loop and must be
+    // relaunched here.
+    for (WorkloadId id : displaced) {
+        Workload &w = registry_.get(id);
+        if (w.completed || w.killed)
+            continue;
+        if (!cluster_.serversHosting(id).empty())
+            continue;
+        bool ok;
+        if (workload::isLatencyCritical(w.type)) {
+            ok = true;
+            for (int i = 0; i < cfg_.min_instances && ok; ++i)
+                ok = addInstance(w, t);
+        } else {
+            Reservation res =
+                userReservation(w, cluster_.catalog(), model_, rng_);
+            ok = !placeLeastLoaded(cluster_, w, t, res, w.best_effort)
+                      .empty();
+        }
+        if (ok)
+            w.last_progress_update = t;
+        else if (std::find(queue_.begin(), queue_.end(), id) ==
+                 queue_.end())
+            queue_.push_back(id);
+    }
+}
+
 int
 AutoScaleManager::instancesOf(WorkloadId id) const
 {

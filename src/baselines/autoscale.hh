@@ -49,6 +49,10 @@ class AutoScaleManager : public driver::ClusterManager
     void onSubmit(WorkloadId id, double t) override;
     void onTick(double t) override;
     void onCompletion(WorkloadId id, double t) override;
+    /** Minimal recovery: relaunch instances of fully-lost workloads. */
+    void onServerDown(ServerId sid,
+                      const std::vector<WorkloadId> &displaced,
+                      double t) override;
     std::string name() const override { return "autoscale"; }
 
     /** Current instance count of a service. */

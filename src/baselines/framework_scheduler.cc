@@ -90,6 +90,33 @@ FrameworkSelfManager::onCompletion(WorkloadId, double t)
     onTick(t);
 }
 
+void
+FrameworkSelfManager::onServerDown(ServerId,
+                                   const std::vector<WorkloadId> &displaced,
+                                   double t)
+{
+    for (WorkloadId id : displaced) {
+        Workload &w = registry_.get(id);
+        if (w.completed || w.killed)
+            continue;
+        auto it = reservations_.find(id);
+        if (it == reservations_.end())
+            continue;
+        size_t remaining = cluster_.serversHosting(id).size();
+        if (remaining == 0) {
+            if (!tryPlace(id, t) &&
+                std::find(queue_.begin(), queue_.end(), id) ==
+                    queue_.end())
+                queue_.push_back(id);
+            continue;
+        }
+        Reservation missing = it->second;
+        missing.nodes -= int(remaining);
+        if (missing.nodes > 0)
+            placeLeastLoaded(cluster_, w, t, missing, w.best_effort);
+    }
+}
+
 const Reservation *
 FrameworkSelfManager::reservationFor(WorkloadId id) const
 {

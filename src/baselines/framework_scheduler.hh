@@ -39,6 +39,10 @@ class FrameworkSelfManager : public driver::ClusterManager
     void onSubmit(WorkloadId id, double t) override;
     void onTick(double t) override;
     void onCompletion(WorkloadId id, double t) override;
+    /** Minimal recovery: top up lost nodes / requeue when unplaced. */
+    void onServerDown(ServerId sid,
+                      const std::vector<WorkloadId> &displaced,
+                      double t) override;
     std::string name() const override { return "framework-schedulers"; }
 
     const Reservation *reservationFor(WorkloadId id) const;

@@ -143,6 +143,33 @@ ParagonManager::onCompletion(WorkloadId, double t)
     onTick(t);
 }
 
+void
+ParagonManager::onServerDown(ServerId,
+                             const std::vector<WorkloadId> &displaced,
+                             double t)
+{
+    for (WorkloadId id : displaced) {
+        const Workload &w = registry_.get(id);
+        if (w.completed || w.killed)
+            continue;
+        auto it = reservations_.find(id);
+        if (it == reservations_.end())
+            continue;
+        // Relaunch only the lost nodes: tryPlace places up to
+        // res.nodes shares on servers not already hosting the
+        // workload, so shrink the reservation to the missing count
+        // for the duration of the call.
+        int remaining = int(cluster_.serversHosting(id).size());
+        int full = it->second.nodes;
+        it->second.nodes = std::max(full - remaining, 1);
+        bool placed = remaining >= full || tryPlace(id, t);
+        it->second.nodes = full;
+        if (!placed && remaining == 0 &&
+            std::find(queue_.begin(), queue_.end(), id) == queue_.end())
+            queue_.push_back(id);
+    }
+}
+
 const core::WorkloadEstimate *
 ParagonManager::estimateFor(WorkloadId id) const
 {

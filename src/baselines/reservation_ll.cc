@@ -139,6 +139,8 @@ placeLeastLoaded(sim::Cluster &cluster, const Workload &w, double t,
     order.reserve(cluster.size());
     for (size_t i = 0; i < cluster.size(); ++i) {
         const sim::Server &srv = cluster.server(ServerId(i));
+        if (!srv.available())
+            continue; // down machines accept no placements
         order.emplace_back(srv.cpuReservedFraction(), ServerId(i));
     }
     std::sort(order.begin(), order.end());
@@ -219,6 +221,36 @@ void
 ReservationLLManager::onCompletion(WorkloadId, double t)
 {
     onTick(t); // retry queued reservations with the freed capacity
+}
+
+void
+ReservationLLManager::onServerDown(ServerId,
+                                   const std::vector<WorkloadId> &displaced,
+                                   double t)
+{
+    // Minimal recovery, matching how reservation systems behave: the
+    // user's orchestration relaunches lost instances of the same
+    // reservation on whatever is least loaded, or waits in the queue.
+    for (WorkloadId id : displaced) {
+        Workload &w = registry_.get(id);
+        if (w.completed || w.killed)
+            continue;
+        auto it = reservations_.find(id);
+        if (it == reservations_.end())
+            continue;
+        size_t remaining = cluster_.serversHosting(id).size();
+        if (remaining == 0) {
+            if (!tryPlace(id, t) &&
+                std::find(queue_.begin(), queue_.end(), id) ==
+                    queue_.end())
+                queue_.push_back(id);
+            continue;
+        }
+        Reservation missing = it->second;
+        missing.nodes -= int(remaining);
+        if (missing.nodes > 0)
+            placeLeastLoaded(cluster_, w, t, missing, w.best_effort);
+    }
 }
 
 const Reservation *

@@ -72,6 +72,10 @@ class ReservationLLManager : public driver::ClusterManager
     void onSubmit(WorkloadId id, double t) override;
     void onTick(double t) override;
     void onCompletion(WorkloadId id, double t) override;
+    /** Minimal recovery: top up lost nodes / requeue when unplaced. */
+    void onServerDown(ServerId sid,
+                      const std::vector<WorkloadId> &displaced,
+                      double t) override;
     std::string name() const override { return "reservation+LL"; }
 
     /** Reservation recorded for a workload (after error model). */

@@ -2,39 +2,78 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace quasar::core
 {
 
 void
+AdmissionQueue::applyBackoff(Entry &e, double t)
+{
+    if (e.backoff_s <= 0.0)
+        return;
+    double delay = std::min(e.backoff_s * std::pow(2.0, e.attempts),
+                            e.backoff_max_s);
+    ++e.attempts;
+    e.not_before = t + delay;
+}
+
+void
 AdmissionQueue::enqueue(WorkloadId id, double t)
 {
-    // Re-enqueue after a failed retry keeps the original wait start.
-    for (const Entry &e : in_retry_) {
-        if (e.id == id) {
+    // Re-enqueue after a failed retry keeps the original wait start
+    // (and the backoff policy the entry was created with).
+    for (size_t i = 0; i < in_retry_.size(); ++i) {
+        if (in_retry_[i].id == id) {
+            Entry e = in_retry_[i];
+            in_retry_.erase(in_retry_.begin() + long(i));
+            applyBackoff(e, t);
             pending_.push_back(e);
-            in_retry_.erase(
-                std::remove_if(in_retry_.begin(), in_retry_.end(),
-                               [id](const Entry &x) {
-                                   return x.id == id;
-                               }),
-                in_retry_.end());
             return;
         }
     }
     assert(!contains(id));
-    pending_.push_back({id, t});
+    pending_.push_back({id, t, 0, 0.0, 0.0, 0.0});
+}
+
+void
+AdmissionQueue::enqueueWithBackoff(WorkloadId id, double t, double base_s,
+                                   double max_s)
+{
+    for (size_t i = 0; i < in_retry_.size(); ++i) {
+        if (in_retry_[i].id == id) {
+            Entry e = in_retry_[i];
+            in_retry_.erase(in_retry_.begin() + long(i));
+            e.backoff_s = base_s;
+            e.backoff_max_s = max_s;
+            applyBackoff(e, t);
+            pending_.push_back(e);
+            return;
+        }
+    }
+    assert(!contains(id));
+    Entry e{id, t, 0, 0.0, base_s, max_s};
+    applyBackoff(e, t);
+    pending_.push_back(e);
 }
 
 std::vector<WorkloadId>
-AdmissionQueue::drainForRetry()
+AdmissionQueue::drainForRetry(double now)
 {
-    in_retry_ = pending_;
-    pending_.clear();
+    // Entries move to in_retry_ (appending, so a nested drain during
+    // an in-progress retry pass neither duplicates nor drops entries)
+    // and return to pending_ via enqueue() if the retry fails.
     std::vector<WorkloadId> out;
-    out.reserve(in_retry_.size());
-    for (const Entry &e : in_retry_)
-        out.push_back(e.id);
+    std::vector<Entry> not_due;
+    for (Entry &e : pending_) {
+        if (e.not_before <= now) {
+            out.push_back(e.id);
+            in_retry_.push_back(e);
+        } else {
+            not_due.push_back(e);
+        }
+    }
+    pending_ = std::move(not_due);
     return out;
 }
 
@@ -54,6 +93,20 @@ AdmissionQueue::admitted(WorkloadId id, double t)
     }
     waits_.add(t - it->enqueued_at);
     in_retry_.erase(it);
+}
+
+void
+AdmissionQueue::abandon(WorkloadId id)
+{
+    auto drop = [id](std::vector<Entry> &v) {
+        v.erase(std::remove_if(v.begin(), v.end(),
+                               [id](const Entry &e) {
+                                   return e.id == id;
+                               }),
+                v.end());
+    };
+    drop(pending_);
+    drop(in_retry_);
 }
 
 bool

@@ -4,11 +4,17 @@
  * find resources for a workload, it waits in a pending queue instead
  * of oversubscribing machines. Wait time counts toward scheduling
  * overheads.
+ *
+ * Entries may carry an exponential-backoff policy (used for workloads
+ * displaced by machine failures while capacity is temporarily gone):
+ * each failed retry doubles the delay before the entry is offered for
+ * retry again, up to a cap. Plain entries retry on every pass.
  */
 
 #ifndef QUASAR_CORE_ADMISSION_HH
 #define QUASAR_CORE_ADMISSION_HH
 
+#include <limits>
 #include <vector>
 
 #include "common/types.hh"
@@ -17,26 +23,46 @@
 namespace quasar::core
 {
 
-/** FIFO pending queue with wait-time accounting. */
+/** FIFO pending queue with wait-time accounting and retry backoff. */
 class AdmissionQueue
 {
   public:
     /** Add a workload that could not be placed. */
     void enqueue(WorkloadId id, double t);
 
-    bool empty() const { return pending_.empty(); }
-    size_t size() const { return pending_.size(); }
+    /**
+     * Add a workload with an exponential-backoff retry policy: the
+     * first retry is offered after base_s, then 2*base_s, 4*base_s,
+     * ..., capped at max_s. Re-enqueue after a failed retry (via
+     * enqueue or this call) keeps both the original wait start and the
+     * backoff policy, and doubles the delay.
+     */
+    void enqueueWithBackoff(WorkloadId id, double t, double base_s,
+                            double max_s);
+
+    bool empty() const { return pending_.empty() && in_retry_.empty(); }
+    size_t size() const { return pending_.size() + in_retry_.size(); }
 
     /**
-     * Remove and return all pending workloads in FIFO order for a
-     * retry pass; re-enqueue the ones that still do not fit.
+     * Remove and return pending workloads whose retry is due at `now`
+     * in FIFO order for a retry pass; the caller re-enqueues the ones
+     * that still do not fit (or reports them admitted). Entries not
+     * yet due stay pending. The no-argument form ignores backoff and
+     * drains everything — used when fresh capacity just appeared.
      */
-    std::vector<WorkloadId> drainForRetry();
+    std::vector<WorkloadId>
+    drainForRetry(double now = std::numeric_limits<double>::infinity());
 
     /** Record a successful admission at time t (closes wait timing). */
     void admitted(WorkloadId id, double t);
 
-    /** Whether a workload is currently queued. */
+    /**
+     * Drop a workload without wait accounting (completed or killed
+     * while queued); no-op when not present.
+     */
+    void abandon(WorkloadId id);
+
+    /** Whether a workload is currently queued (or mid-retry). */
     bool contains(WorkloadId id) const;
 
     /** Wait-time statistics over all admitted workloads. */
@@ -51,7 +77,18 @@ class AdmissionQueue
     {
         WorkloadId id;
         double enqueued_at;
+        /** Failed retries so far (drives the backoff exponent). */
+        int attempts = 0;
+        /** Do not offer for retry before this time. */
+        double not_before = 0.0;
+        /** Backoff base; 0 means retry on every pass. */
+        double backoff_s = 0.0;
+        double backoff_max_s = 0.0;
     };
+
+    /** Apply the entry's backoff policy after a failed attempt. */
+    static void applyBackoff(Entry &e, double t);
+
     std::vector<Entry> pending_;
     std::vector<Entry> in_retry_;
     stats::Samples waits_;

@@ -143,8 +143,21 @@ QuasarManager::trySchedule(WorkloadId id, double t, bool requeue_on_fail)
     const WorkloadEstimate &est = est_it->second;
 
     double required = requiredPerf(w, t);
-    auto alloc = scheduler_.allocate(w, est, required, estimateLookup(),
-                                     !w.best_effort);
+    // Re-placement after a failure spreads latency-critical replicas
+    // across fault zones so one rack/PDU cannot hold the whole
+    // service again (Sec. 4.4).
+    std::optional<Allocation> alloc;
+    if (cfg_.spread_zones_on_recovery && displaced_at_.count(id) &&
+        workload::isLatencyCritical(w.type)) {
+        SchedulerConfig spread_cfg = scheduler_.config();
+        spread_cfg.spread_fault_zones = true;
+        GreedyScheduler spread(cluster_, spread_cfg, &registry_);
+        alloc = spread.allocate(w, est, required, estimateLookup(),
+                                !w.best_effort);
+    } else {
+        alloc = scheduler_.allocate(w, est, required, estimateLookup(),
+                                    !w.best_effort);
+    }
     // Place the best allocation available and let monitoring adjust
     // it ("get as close as possible to the constraint", Sec. 3.3);
     // admission control only holds workloads for which no resources
@@ -162,7 +175,19 @@ QuasarManager::trySchedule(WorkloadId id, double t, bool requeue_on_fail)
     applyAllocation(w, *alloc, t);
     admission_.admitted(id, t);
     ++stats_.scheduled;
+    noteRecovered(id, t);
     return true;
+}
+
+void
+QuasarManager::noteRecovered(WorkloadId id, double t)
+{
+    auto it = displaced_at_.find(id);
+    if (it == displaced_at_.end())
+        return;
+    recovery_times_.add(t - it->second);
+    displaced_at_.erase(it);
+    ++stats_.recoveries;
 }
 
 void
@@ -225,7 +250,8 @@ QuasarManager::predictCurrent(const Workload &w,
         }
         double interf = est.interferenceMultiplier(
             srv.contentionFor(w.id), scheduler_.config().slope_guess);
-        node_perfs.push_back(est.nodePerf(p_idx, best_col) * interf);
+        node_perfs.push_back(est.nodePerf(p_idx, best_col) * interf *
+                             srv.speedFactor());
     }
     return est.jobPerf(node_perfs);
 }
@@ -434,6 +460,10 @@ QuasarManager::shrinkAllocation(Workload &w, const WorkloadEstimate &est,
     }
     sim::Server &srv = cluster_.server(biggest);
     const sim::TaskShare *share = srv.share(w.id);
+    // resize() mutates the share in place, so remember the current
+    // size by value for the undo below.
+    const int old_cores = share->cores;
+    const double old_mem = share->memory_gb;
     const auto &catalog = cluster_.catalog();
     size_t p_idx = 0;
     for (size_t i = 0; i < catalog.size(); ++i)
@@ -472,7 +502,7 @@ QuasarManager::shrinkAllocation(Workload &w, const WorkloadEstimate &est,
         if (monitor_.measureAbsolute(w, t) >= 1.1 * required) {
             ++stats_.shrinks;
         } else {
-            srv.resize(w.id, share->cores, share->memory_gb); // undo
+            srv.resize(w.id, old_cores, old_mem); // undo
         }
     }
 }
@@ -617,11 +647,14 @@ QuasarManager::reclassifyAndReschedule(Workload &w, double t)
 void
 QuasarManager::onTick(double t)
 {
-    // Retry queued workloads (admission control).
-    for (WorkloadId id : admission_.drainForRetry()) {
+    // Retry queued workloads whose backoff has elapsed (admission
+    // control; plain entries are always due).
+    for (WorkloadId id : admission_.drainForRetry(t)) {
         Workload &w = registry_.get(id);
-        if (w.completed || w.killed)
+        if (w.completed || w.killed) {
+            admission_.abandon(id);
             continue;
+        }
         trySchedule(id, t, true);
     }
 
@@ -686,12 +719,99 @@ QuasarManager::onCompletion(WorkloadId id, double t)
     predictors_.erase(id);
     last_adjust_.erase(id);
     last_reschedule_.erase(id);
+    displaced_at_.erase(id);
+    admission_.abandon(id);
     // Free capacity: retry queued workloads immediately.
     for (WorkloadId qid : admission_.drainForRetry()) {
         Workload &w = registry_.get(qid);
+        if (w.completed || w.killed) {
+            admission_.abandon(qid);
+            continue;
+        }
+        trySchedule(qid, t, true);
+    }
+}
+
+void
+QuasarManager::onServerDown(ServerId,
+                            const std::vector<WorkloadId> &displaced,
+                            double t)
+{
+    ++stats_.server_failures;
+    for (WorkloadId id : displaced) {
+        Workload &w = registry_.get(id);
         if (w.completed || w.killed)
             continue;
-        trySchedule(qid, t, true);
+        ++stats_.tasks_displaced;
+        displaced_at_.emplace(id, t);
+        replaceDisplaced(id, t);
+    }
+}
+
+void
+QuasarManager::replaceDisplaced(WorkloadId id, double t)
+{
+    Workload &w = registry_.get(id);
+    auto est_it = estimates_.find(id);
+    if (est_it == estimates_.end()) {
+        // Crashed before it was ever classified; take the full
+        // submission path (profiles in sandboxed copies as usual).
+        onSubmit(id, t);
+        return;
+    }
+    // A machine loss is not a phase change: keep the existing
+    // classification and skip re-profiling entirely.
+    if (!cluster_.serversHosting(id).empty()) {
+        // Partial loss of a multi-node job: still holding resources,
+        // so top up scale-out-first; if capacity is tight the
+        // reactive monitoring path keeps working on it.
+        double required = requiredPerf(w, t);
+        if (predictCurrent(w, est_it->second) < required)
+            tryScaleOut(w, est_it->second, required, t);
+        noteRecovered(id, t);
+        return;
+    }
+    if (admission_.contains(id))
+        return; // already waiting for capacity
+    if (trySchedule(id, t, false))
+        return;
+    // Capacity is temporarily gone (e.g. mid zone outage): park with
+    // exponential backoff instead of hammering the scheduler.
+    admission_.enqueueWithBackoff(id, t, cfg_.failure_backoff_s,
+                                  cfg_.failure_backoff_max_s);
+    ++stats_.queued;
+}
+
+void
+QuasarManager::onServerUp(ServerId, double t)
+{
+    // Fresh capacity just appeared: retry the whole queue now,
+    // ignoring any backoff timers.
+    for (WorkloadId id : admission_.drainForRetry()) {
+        Workload &w = registry_.get(id);
+        if (w.completed || w.killed) {
+            admission_.abandon(id);
+            continue;
+        }
+        trySchedule(id, t, true);
+    }
+}
+
+void
+QuasarManager::onServerDegraded(ServerId sid, double, double t)
+{
+    (void)t;
+    // A sick node is a phase change in disguise: the oracle already
+    // runs its residents slower, so pre-charge the reactive path —
+    // clear the adjustment cooldown and the noise-filter strike so
+    // the next below-target reading acts immediately.
+    for (const sim::TaskShare &share : cluster_.server(sid).tasks()) {
+        Workload &w = registry_.get(share.workload);
+        if (w.best_effort || w.completed)
+            continue;
+        strikes_[share.workload] =
+            std::max(strikes_[share.workload], 1);
+        last_adjust_.erase(share.workload);
     }
 }
 

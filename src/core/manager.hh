@@ -76,6 +76,20 @@ struct QuasarConfig
     /** Capacity multiplier during a migration window. */
     double migration_factor = 0.9;
 
+    /**
+     * Retry backoff for workloads displaced by machine failures that
+     * cannot be re-placed immediately (capacity temporarily gone):
+     * first retry after failure_backoff_s, doubling up to the max.
+     */
+    double failure_backoff_s = 20.0;
+    double failure_backoff_max_s = 160.0;
+    /**
+     * On re-placement after a failure, spread latency-critical
+     * replicas across fault zones (Sec. 4.4) so a repeat outage of
+     * the same rack/PDU cannot take the whole service down again.
+     */
+    bool spread_zones_on_recovery = true;
+
     uint64_t seed = 99;
 };
 
@@ -92,6 +106,12 @@ struct QuasarStats
     size_t shrinks = 0;
     size_t feedback_updates = 0;
     size_t partitions_granted = 0;
+    /** @name Fault tolerance */
+    /// @{
+    size_t server_failures = 0;  ///< crash events seen.
+    size_t tasks_displaced = 0;  ///< shares dropped by crashes.
+    size_t recoveries = 0;       ///< displaced workloads re-placed.
+    /// @}
 };
 
 /** The Quasar cluster manager. */
@@ -115,6 +135,12 @@ class QuasarManager : public driver::ClusterManager
     void onSubmit(WorkloadId id, double t) override;
     void onTick(double t) override;
     void onCompletion(WorkloadId id, double t) override;
+    void onServerDown(ServerId sid,
+                      const std::vector<WorkloadId> &displaced,
+                      double t) override;
+    void onServerUp(ServerId sid, double t) override;
+    void onServerDegraded(ServerId sid, double speed_factor,
+                          double t) override;
     std::string name() const override { return "quasar"; }
 
     /** @name Introspection */
@@ -124,6 +150,11 @@ class QuasarManager : public driver::ClusterManager
     /** Profiling + classification + queue wait charged to id. */
     double overheadSeconds(WorkloadId id) const;
     const QuasarStats &stats() const { return stats_; }
+    /** Displacement-to-re-placement times of recovered workloads. */
+    const stats::Samples &recoveryTimes() const
+    {
+        return recovery_times_;
+    }
     const profiling::Profiler &profiler() const { return profiler_; }
     Classifier &classifier() { return classifier_; }
     const GreedyScheduler &scheduler() const { return scheduler_; }
@@ -132,6 +163,10 @@ class QuasarManager : public driver::ClusterManager
   private:
     double requiredPerf(const workload::Workload &w, double t) const;
     bool trySchedule(WorkloadId id, double t, bool requeue_on_fail);
+    /** Re-place a workload displaced by a crash (no re-profiling). */
+    void replaceDisplaced(WorkloadId id, double t);
+    /** Close the recovery-time window for a re-placed workload. */
+    void noteRecovered(WorkloadId id, double t);
     void applyAllocation(workload::Workload &w, const Allocation &alloc,
                          double t);
     void releaseWorkload(WorkloadId id);
@@ -171,6 +206,9 @@ class QuasarManager : public driver::ClusterManager
     std::unordered_map<WorkloadId, double> last_reschedule_;
     std::unordered_map<WorkloadId, LoadPredictor> predictors_;
     std::unordered_map<WorkloadId, double> overhead_s_;
+    /** Displacement time of workloads awaiting re-placement. */
+    std::unordered_map<WorkloadId, double> displaced_at_;
+    stats::Samples recovery_times_;
     double last_proactive_ = 0.0;
     QuasarStats stats_;
 };

@@ -93,7 +93,9 @@ GreedyScheduler::serverQuality(const sim::Server &srv,
     double pf = est.platform_factor[it->second];
     double im = est.interferenceMultiplier(srv.contentionForNewcomer(),
                                            cfg_.slope_guess);
-    return pf * im;
+    // Degraded machines rank (and predict) proportionally lower; a
+    // down machine is worth nothing.
+    return pf * im * srv.speedFactor();
 }
 
 GreedyScheduler::NodePick
@@ -122,7 +124,8 @@ GreedyScheduler::pickNodeConfig(const sim::Server &srv, const Workload &w,
         return pick;
 
     double interf = est.interferenceMultiplier(
-        srv.contentionForNewcomer(), cfg_.slope_guess);
+                        srv.contentionForNewcomer(), cfg_.slope_guess) *
+                    srv.speedFactor();
 
     // Scan feasible columns for the best achievable node perf.
     double best_perf = 0.0;
@@ -227,6 +230,8 @@ GreedyScheduler::allocate(const Workload &w, const WorkloadEstimate &est,
     ranked.reserve(cluster_.size());
     for (size_t i = 0; i < cluster_.size(); ++i) {
         const sim::Server &srv = cluster_.server(ServerId(i));
+        if (!srv.available())
+            continue; // down machines accept no placements
         int free = srv.coresFree();
         if (may_evict)
             free += evictableCapacity(srv, [&](const sim::TaskShare &t) {
@@ -311,8 +316,11 @@ GreedyScheduler::allocate(const Workload &w, const WorkloadEstimate &est,
                     continue;
                 pick.col = c;
                 auto map = platformIndex(cluster_);
-                double interf = est.interferenceMultiplier(
-                    srv.contentionForNewcomer(), cfg_.slope_guess);
+                double interf =
+                    est.interferenceMultiplier(
+                        srv.contentionForNewcomer(),
+                        cfg_.slope_guess) *
+                    srv.speedFactor();
                 pick.perf =
                     est.nodePerf(map.at(srv.platform().name), c) *
                     interf;

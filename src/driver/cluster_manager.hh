@@ -10,6 +10,7 @@
 #define QUASAR_DRIVER_CLUSTER_MANAGER_HH
 
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -30,6 +31,31 @@ class ClusterManager
 
     /** A workload finished and was removed from the cluster. */
     virtual void onCompletion(WorkloadId id, double t) = 0;
+
+    /** @name Failure hooks (Sec. 4.4 fault tolerance) */
+    /// @{
+    /**
+     * A server crashed; its in-flight shares were already dropped by
+     * the driver. `displaced` lists the workloads that held resources
+     * there and now need recovery. Default: do nothing (workloads
+     * stall until the manager re-places them some other way).
+     */
+    virtual void onServerDown(ServerId,
+                              const std::vector<WorkloadId> &displaced,
+                              double)
+    {
+        (void)displaced;
+    }
+
+    /** A server came back up, empty and at full speed. */
+    virtual void onServerUp(ServerId, double) {}
+
+    /** A server degraded to the given execution-speed factor. */
+    virtual void onServerDegraded(ServerId, double speed_factor, double)
+    {
+        (void)speed_factor;
+    }
+    /// @}
 
     /** Human-readable name for reports. */
     virtual std::string name() const = 0;

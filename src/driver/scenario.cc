@@ -41,6 +41,68 @@ ScenarioDriver::run(double until)
 }
 
 void
+ScenarioDriver::installFaults(sim::FaultInjector &faults)
+{
+    faults.arm(events_, *this);
+}
+
+void
+ScenarioDriver::integrateProgress(workload::Workload &w, double t)
+{
+    if (workload::isLatencyCritical(w.type) || w.completed)
+        return;
+    if (cluster_.serversHosting(w.id).empty()) {
+        w.last_progress_update = t;
+        return;
+    }
+    double rate = oracle_.currentRate(w, t);
+    double dt = t - w.last_progress_update;
+    double remaining = w.total_work - w.work_done;
+    if (rate > 0.0 && rate * dt >= remaining) {
+        double at = w.last_progress_update + remaining / rate;
+        w.work_done = w.total_work;
+        completeWorkload(w, at);
+        return;
+    }
+    w.work_done += rate * dt;
+    w.last_progress_update = t;
+}
+
+void
+ScenarioDriver::beforeServerStateChange(ServerId sid, double t)
+{
+    // Settle batch progress at the pre-fault rate for every workload
+    // touching this server; ids are copied because a completion here
+    // mutates the server's task list.
+    std::vector<WorkloadId> resident;
+    for (const sim::TaskShare &share : cluster_.server(sid).tasks())
+        resident.push_back(share.workload);
+    for (WorkloadId id : resident)
+        integrateProgress(registry_.get(id), t);
+}
+
+void
+ScenarioDriver::serverFailed(ServerId sid,
+                             const std::vector<WorkloadId> &displaced,
+                             double t)
+{
+    manager_.onServerDown(sid, displaced, t);
+}
+
+void
+ScenarioDriver::serverRecovered(ServerId sid, double t)
+{
+    manager_.onServerUp(sid, t);
+}
+
+void
+ScenarioDriver::serverDegraded(ServerId sid, double speed_factor,
+                               double t)
+{
+    manager_.onServerDegraded(sid, speed_factor, t);
+}
+
+void
 ScenarioDriver::completeWorkload(Workload &w, double at)
 {
     w.completed = true;
@@ -82,22 +144,9 @@ ScenarioDriver::tick()
                            offered, cap, w.target.latency_qos_s));
             }
         } else {
-            if (!placed) {
-                w.last_progress_update = t;
-            } else {
-                double rate = oracle_.currentRate(w, t);
-                double dt = t - w.last_progress_update;
-                double remaining = w.total_work - w.work_done;
-                if (rate > 0.0 && rate * dt >= remaining) {
-                    double at =
-                        w.last_progress_update + remaining / rate;
-                    w.work_done = w.total_work;
-                    completeWorkload(w, at);
-                    continue;
-                }
-                w.work_done += rate * dt;
-                w.last_progress_update = t;
-            }
+            integrateProgress(w, t);
+            if (w.completed)
+                continue;
         }
 
         if (placed && !w.best_effort)

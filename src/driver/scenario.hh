@@ -19,6 +19,7 @@
 #include "driver/cluster_manager.hh"
 #include "sim/cluster.hh"
 #include "sim/event_queue.hh"
+#include "sim/failure.hh"
 #include "stats/summary.hh"
 #include "stats/timeseries.hh"
 #include "workload/workload.hh"
@@ -46,7 +47,7 @@ struct ServiceTrace
 };
 
 /** Drives one scenario run. */
-class ScenarioDriver
+class ScenarioDriver : public sim::FaultListener
 {
   public:
     ScenarioDriver(sim::Cluster &cluster,
@@ -55,6 +56,25 @@ class ScenarioDriver
 
     /** Schedule a workload arrival (workload already registered). */
     void addArrival(WorkloadId id, double t);
+
+    /**
+     * Arm a fault injector against this run: its events fire on the
+     * driver's event queue, and the driver settles progress, drops
+     * in-flight shares on crashed servers, and relays the failure to
+     * the manager's hooks. The injector must outlive the run.
+     */
+    void installFaults(sim::FaultInjector &faults);
+
+    /** @name FaultListener (called by the armed injector) */
+    /// @{
+    void beforeServerStateChange(ServerId sid, double t) override;
+    void serverFailed(ServerId sid,
+                      const std::vector<WorkloadId> &displaced,
+                      double t) override;
+    void serverRecovered(ServerId sid, double t) override;
+    void serverDegraded(ServerId sid, double speed_factor,
+                        double t) override;
+    /// @}
 
     /** Run until the given time (events stop firing after it). */
     void run(double until);
@@ -107,6 +127,8 @@ class ScenarioDriver
   private:
     void tick();
     void completeWorkload(workload::Workload &w, double at);
+    /** Integrate a batch workload's progress up to time t. */
+    void integrateProgress(workload::Workload &w, double t);
 
     sim::Cluster &cluster_;
     workload::WorkloadRegistry &registry_;

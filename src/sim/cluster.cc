@@ -66,6 +66,56 @@ Cluster::serversHosting(WorkloadId w) const
 }
 
 size_t
+Cluster::aliveServerCount() const
+{
+    size_t n = 0;
+    for (const auto &s : servers_)
+        if (s->available())
+            ++n;
+    return n;
+}
+
+int
+Cluster::aliveCores() const
+{
+    int n = 0;
+    for (const auto &s : servers_)
+        if (s->available())
+            n += s->platform().cores;
+    return n;
+}
+
+double
+Cluster::aliveMemoryGb() const
+{
+    double m = 0.0;
+    for (const auto &s : servers_)
+        if (s->available())
+            m += s->platform().memory_gb;
+    return m;
+}
+
+std::vector<ServerId>
+Cluster::serversInZone(int zone) const
+{
+    std::vector<ServerId> out;
+    for (size_t i = 0; i < servers_.size(); ++i)
+        if (servers_[i]->faultZone() == zone)
+            out.push_back(ServerId(i));
+    return out;
+}
+
+std::vector<ServerId>
+Cluster::downServers() const
+{
+    std::vector<ServerId> out;
+    for (size_t i = 0; i < servers_.size(); ++i)
+        if (!servers_[i]->available())
+            out.push_back(ServerId(i));
+    return out;
+}
+
+size_t
 Cluster::removeEverywhere(WorkloadId w)
 {
     size_t n = 0;

@@ -65,6 +65,20 @@ class Cluster
     /** The server currently hosting w on each machine it occupies. */
     std::vector<ServerId> serversHosting(WorkloadId w) const;
 
+    /** @name Alive capacity (fault tolerance) */
+    /// @{
+    /** Servers not currently down. */
+    size_t aliveServerCount() const;
+    /** Cores on servers that are not down. */
+    int aliveCores() const;
+    /** Memory on servers that are not down, GB. */
+    double aliveMemoryGb() const;
+    /** Ids of servers in the given fault zone. */
+    std::vector<ServerId> serversInZone(int zone) const;
+    /** Ids of currently-down servers. */
+    std::vector<ServerId> downServers() const;
+    /// @}
+
     /** Remove w from every server; count of shares removed. */
     size_t removeEverywhere(WorkloadId w);
 

@@ -12,8 +12,66 @@ using interference::kNumSources;
 bool
 Server::canFit(int cores, double memory_gb, double storage_gb) const
 {
+    if (state_ == ServerState::Down)
+        return false;
     return cores <= coresFree() && memory_gb <= memoryFree() + 1e-9 &&
            storage_gb <= storageFree() + 1e-9;
+}
+
+std::vector<TaskShare>
+Server::markDown()
+{
+    std::vector<TaskShare> displaced;
+    if (state_ == ServerState::Down)
+        return displaced;
+    state_ = ServerState::Down;
+    speed_factor_ = 1.0;
+    displaced.swap(tasks_);
+    injected_ = interference::zeroVector();
+    return displaced;
+}
+
+bool
+Server::degrade(double speed_factor)
+{
+    assert(speed_factor > 0.0 && speed_factor < 1.0);
+    if (state_ == ServerState::Down)
+        return false;
+    state_ = ServerState::Degraded;
+    speed_factor_ = speed_factor;
+    return true;
+}
+
+void
+Server::recover()
+{
+    state_ = ServerState::Up;
+    speed_factor_ = 1.0;
+}
+
+bool
+Server::checkInvariants() const
+{
+    if (coresAllocated() > platform_.cores)
+        return false;
+    if (memoryAllocated() > platform_.memory_gb + 1e-6)
+        return false;
+    if (storageAllocated() > platform_.storage_gb + 1e-6)
+        return false;
+    if (state_ == ServerState::Down && !tasks_.empty())
+        return false;
+    if (speed_factor_ <= 0.0 || speed_factor_ > 1.0)
+        return false;
+    for (size_t i = 0; i < tasks_.size(); ++i) {
+        if (tasks_[i].workload == kInvalidWorkload)
+            return false;
+        if (tasks_[i].cores_used > double(tasks_[i].cores) + 1e-9)
+            return false;
+        for (size_t j = i + 1; j < tasks_.size(); ++j)
+            if (tasks_[i].workload == tasks_[j].workload)
+                return false;
+    }
+    return true;
 }
 
 void

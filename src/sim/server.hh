@@ -17,6 +17,19 @@
 namespace quasar::sim
 {
 
+/**
+ * Machine health (Sec. 4.4 fault tolerance). Up runs at full speed;
+ * Degraded keeps running at a reduced speed factor (a sick node:
+ * failing disk, thermal throttling); Down hosts nothing and accepts
+ * no placements until recovery.
+ */
+enum class ServerState
+{
+    Up,
+    Degraded,
+    Down,
+};
+
 /** Resources granted to one workload on one server. */
 struct TaskShare
 {
@@ -50,6 +63,37 @@ class Server
     const Platform &platform() const { return platform_; }
     /** Failure-domain id (rack/PDU); Sec. 4.4 fault zones. */
     int faultZone() const { return fault_zone_; }
+
+    /** @name Health */
+    /// @{
+    ServerState state() const { return state_; }
+    /** True unless the server is down (degraded still serves). */
+    bool available() const { return state_ != ServerState::Down; }
+    /** Execution-speed multiplier: 1 up, (0,1) degraded, 0 down. */
+    double speedFactor() const
+    {
+        return state_ == ServerState::Down ? 0.0 : speed_factor_;
+    }
+    /**
+     * Crash the machine: every resident share is dropped and returned
+     * so the caller can notify the manager of the displaced workloads.
+     * Idempotent (a second crash returns nothing).
+     */
+    std::vector<TaskShare> markDown();
+    /**
+     * Enter the degraded state at the given speed factor in (0, 1);
+     * resident tasks keep running, slower. False when down.
+     */
+    bool degrade(double speed_factor);
+    /** Return to full-speed service (empty after a crash). */
+    void recover();
+    /**
+     * Debug invariant check: allocations within platform capacity, no
+     * duplicate workload shares, down implies empty, usage within
+     * allocation. Chaos tests call this after every step.
+     */
+    bool checkInvariants() const;
+    /// @}
 
     /** @name Placement */
     /// @{
@@ -128,6 +172,8 @@ class Server
     ServerId id_;
     Platform platform_;
     int fault_zone_ = 0;
+    ServerState state_ = ServerState::Up;
+    double speed_factor_ = 1.0;
     std::vector<TaskShare> tasks_;
     interference::IVector injected_ = interference::zeroVector();
 };

@@ -131,6 +131,8 @@ PerfOracle::nodeRates(const Workload &w, double t) const
         for (size_t i = 0; i < interference::kNumSources; ++i)
             if (share->isolation[i] != 0.0)
                 rate *= 0.95;
+        // A degraded (sick) machine executes everything slower.
+        rate *= srv.speedFactor();
         rates.push_back(rate);
     }
     return rates;
