@@ -6,6 +6,12 @@
 #   2. Build the test binary and the fault-recovery bench with
 #      -fsanitize=address,undefined (QUASAR_SANITIZE=ON) and run
 #      both; any sanitizer report fails the script.
+#   3. Build Release and run the decision-path benchmark: proves the
+#      incremental scheduler picks identical placements to the
+#      full-rescan path and fails if the 200-server schedule-call
+#      mean regresses more than 25% against the committed
+#      BENCH_decision_path.json baseline. The fresh numbers are
+#      written back to that file so improvements can be committed.
 #
 # Usage: ci/check.sh [jobs]   (defaults to nproc)
 set -euo pipefail
@@ -24,5 +30,16 @@ cmake -B build-asan -S . -DQUASAR_SANITIZE=ON \
 cmake --build build-asan -j "$JOBS" --target quasar_tests fault_recovery
 ./build-asan/tests/quasar_tests
 ./build-asan/bench/fault_recovery
+
+echo "== decision-path: Release bench + regression gate =="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-release -j "$JOBS" --target micro_overheads
+BASELINE_ARGS=()
+if [ -f BENCH_decision_path.json ]; then
+    BASELINE_ARGS=(--baseline=BENCH_decision_path.json
+                   --max-regression=0.25)
+fi
+./build-release/bench/micro_overheads --decision-path \
+    --out=BENCH_decision_path.json "${BASELINE_ARGS[@]}"
 
 echo "== all checks passed =="

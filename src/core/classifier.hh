@@ -33,6 +33,7 @@
 #include "linalg/completion.hh"
 #include "profiling/profiler.hh"
 #include "stats/rng.hh"
+#include "stats/timing.hh"
 #include "workload/workload.hh"
 
 namespace quasar::core
@@ -91,6 +92,11 @@ class Classifier
     size_t onlineRows() const;
     size_t seedRows() const;
     const ClassifierConfig &config() const { return cfg_; }
+    /** Aggregate wall-clock spent inside classify(). */
+    const stats::TimerStat &classifyTime() const
+    {
+        return classify_time_;
+    }
     /// @}
 
   private:
@@ -141,6 +147,7 @@ class Classifier
     ClassifierConfig cfg_;
     linalg::MatrixCompletion completion_;
     stats::Rng rng_;
+    stats::TimerStat classify_time_;
 
     /** Grids (fixed at construction from the profiler's catalog). */
     std::vector<workload::ScaleUpConfig> grid_analytics_;

@@ -124,8 +124,13 @@ QuasarManager::onSubmit(WorkloadId id, double t)
 {
     Workload &w = registry_.get(id);
     // Profile in sandboxed copies and classify.
-    profiling::ProfilingData data = profiler_.profile(w, t, rng_);
-    WorkloadEstimate est = classifier_.classify(w, data);
+    profiling::ProfilingData data;
+    WorkloadEstimate est;
+    {
+        stats::ScopedTimer timer(stats_.classify_time);
+        data = profiler_.profile(w, t, rng_);
+        est = classifier_.classify(w, data);
+    }
     overhead_s_[id] +=
         data.profiling_seconds + est.classification_seconds;
     estimates_[id] = std::move(est);
@@ -147,16 +152,20 @@ QuasarManager::trySchedule(WorkloadId id, double t, bool requeue_on_fail)
     // across fault zones so one rack/PDU cannot hold the whole
     // service again (Sec. 4.4).
     std::optional<Allocation> alloc;
-    if (cfg_.spread_zones_on_recovery && displaced_at_.count(id) &&
-        workload::isLatencyCritical(w.type)) {
-        SchedulerConfig spread_cfg = scheduler_.config();
-        spread_cfg.spread_fault_zones = true;
-        GreedyScheduler spread(cluster_, spread_cfg, &registry_);
-        alloc = spread.allocate(w, est, required, estimateLookup(),
-                                !w.best_effort);
-    } else {
-        alloc = scheduler_.allocate(w, est, required, estimateLookup(),
+    {
+        stats::ScopedTimer timer(stats_.schedule_time);
+        if (cfg_.spread_zones_on_recovery && displaced_at_.count(id) &&
+            workload::isLatencyCritical(w.type)) {
+            SchedulerConfig spread_cfg = scheduler_.config();
+            spread_cfg.spread_fault_zones = true;
+            GreedyScheduler spread(cluster_, spread_cfg, &registry_);
+            alloc = spread.allocate(w, est, required, estimateLookup(),
                                     !w.best_effort);
+        } else {
+            alloc = scheduler_.allocate(w, est, required,
+                                        estimateLookup(),
+                                        !w.best_effort);
+        }
     }
     // Place the best allocation available and let monitoring adjust
     // it ("get as close as possible to the constraint", Sec. 3.3);
@@ -227,14 +236,10 @@ QuasarManager::predictCurrent(const Workload &w,
                               const WorkloadEstimate &est) const
 {
     std::vector<double> node_perfs;
-    const auto &catalog = cluster_.catalog();
     for (ServerId sid : cluster_.serversHosting(w.id)) {
         const sim::Server &srv = cluster_.server(sid);
         const sim::TaskShare *share = srv.share(w.id);
-        size_t p_idx = 0;
-        for (size_t i = 0; i < catalog.size(); ++i)
-            if (catalog[i].name == srv.platform().name)
-                p_idx = i;
+        size_t p_idx = scheduler_.platformIndexOf(srv);
         // Nearest grid column for the current share.
         size_t best_col = 0;
         double best_score = 1e18;
@@ -284,16 +289,12 @@ QuasarManager::tryScaleUp(Workload &w, const WorkloadEstimate &est,
                           double required, double t)
 {
     bool changed = false;
-    const auto &catalog = cluster_.catalog();
     for (ServerId sid : cluster_.serversHosting(w.id)) {
         if (predictCurrent(w, est) >= required)
             break;
         sim::Server &srv = cluster_.server(sid);
         const sim::TaskShare *share = srv.share(w.id);
-        size_t p_idx = 0;
-        for (size_t i = 0; i < catalog.size(); ++i)
-            if (catalog[i].name == srv.platform().name)
-                p_idx = i;
+        size_t p_idx = scheduler_.platformIndexOf(srv);
 
         int budget_cores = share->cores + srv.coresFree();
         double budget_mem = share->memory_gb + srv.memoryFree();
@@ -464,11 +465,7 @@ QuasarManager::shrinkAllocation(Workload &w, const WorkloadEstimate &est,
     // size by value for the undo below.
     const int old_cores = share->cores;
     const double old_mem = share->memory_gb;
-    const auto &catalog = cluster_.catalog();
-    size_t p_idx = 0;
-    for (size_t i = 0; i < catalog.size(); ++i)
-        if (catalog[i].name == srv.platform().name)
-            p_idx = i;
+    size_t p_idx = scheduler_.platformIndexOf(srv);
     double interf = est.interferenceMultiplier(
         srv.contentionFor(w.id), scheduler_.config().slope_guess);
     // Smallest config that still meets the per-node requirement.
@@ -510,6 +507,7 @@ QuasarManager::shrinkAllocation(Workload &w, const WorkloadEstimate &est,
 void
 QuasarManager::adjust(Workload &w, double t)
 {
+    stats::ScopedTimer timer(stats_.adapt_time);
     auto est_it = estimates_.find(w.id);
     if (est_it == estimates_.end())
         return;
@@ -606,8 +604,13 @@ QuasarManager::reclassifyAndReschedule(Workload &w, double t)
         old_shares.push_back({sid, *cluster_.server(sid).share(w.id)});
 
     releaseWorkload(w.id);
-    profiling::ProfilingData data = profiler_.profile(w, t, rng_);
-    WorkloadEstimate est = classifier_.classify(w, data);
+    profiling::ProfilingData data;
+    WorkloadEstimate est;
+    {
+        stats::ScopedTimer timer(stats_.classify_time);
+        data = profiler_.profile(w, t, rng_);
+        est = classifier_.classify(w, data);
+    }
     overhead_s_[w.id] +=
         data.profiling_seconds + est.classification_seconds;
     double old_predicted = 0.0;

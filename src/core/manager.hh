@@ -96,6 +96,15 @@ struct QuasarConfig
 /** Counters exposed for experiments and tests. */
 struct QuasarStats
 {
+    /**
+     * Wall-clock (host) time of the decision path, not simulated
+     * time: what the manager itself costs. Rank/place breakdowns
+     * live in GreedyScheduler::timing().
+     */
+    stats::TimerStat classify_time; ///< profiling + classification.
+    stats::TimerStat schedule_time; ///< allocate() per schedule call.
+    stats::TimerStat adapt_time;    ///< the adjust() decision body.
+
     size_t scheduled = 0;
     size_t queued = 0;
     size_t rescheduled = 0;

@@ -6,6 +6,8 @@
 #include <limits>
 #include <unordered_map>
 
+#include "stats/timing.hh"
+
 namespace quasar::core
 {
 
@@ -33,9 +35,12 @@ Allocation::totalMemoryGb() const
 namespace
 {
 
-/** Map platform names to catalog indices for a cluster. */
+/**
+ * Legacy per-call platform-name map, kept only for the full_rescan
+ * A/B path (the pre-index behavior rebuilt this per server score).
+ */
 std::unordered_map<std::string, size_t>
-platformIndex(const sim::Cluster &cluster)
+legacyPlatformIndex(const sim::Cluster &cluster)
 {
     std::unordered_map<std::string, size_t> idx;
     const auto &catalog = cluster.catalog();
@@ -44,7 +49,6 @@ platformIndex(const sim::Cluster &cluster)
     return idx;
 }
 
-/** Evictable capacity on a server under a given predicate. */
 struct Evictable
 {
     int cores = 0;
@@ -52,13 +56,17 @@ struct Evictable
     double storage_gb = 0.0;
 };
 
-template <typename Pred>
+/**
+ * Best-effort residents' totals in task order. The single source of
+ * truth for this sum: the cache refresh and the full_rescan path both
+ * call it, so the two decision paths see bitwise-identical values.
+ */
 Evictable
-evictableCapacity(const sim::Server &srv, Pred pred)
+bestEffortTotals(const sim::Server &srv)
 {
     Evictable e;
     for (const sim::TaskShare &t : srv.tasks()) {
-        if (pred(t)) {
+        if (t.best_effort) {
             e.cores += t.cores;
             e.memory_gb += t.memory_gb;
             e.storage_gb += t.storage_gb;
@@ -67,7 +75,64 @@ evictableCapacity(const sim::Server &srv, Pred pred)
     return e;
 }
 
+/** Strict-weak order for ranking: quality desc, id asc on ties. */
+bool
+rankedBefore(const std::pair<double, ServerId> &a,
+             const std::pair<double, ServerId> &b)
+{
+    if (a.first != b.first)
+        return a.first > b.first;
+    return a.second < b.second;
+}
+
 } // namespace
+
+void
+GreedyScheduler::rebuildPlatformIndex() const
+{
+    platform_idx_.clear();
+    const auto &catalog = cluster_.catalog();
+    for (size_t i = 0; i < catalog.size(); ++i)
+        platform_idx_[catalog[i].name] = i;
+    indexed_catalog_size_ = catalog.size();
+}
+
+size_t
+GreedyScheduler::platformIndexOf(const sim::Server &srv) const
+{
+    if (cluster_.catalog().size() != indexed_catalog_size_)
+        rebuildPlatformIndex();
+    auto it = platform_idx_.find(srv.platform().name);
+    if (it == platform_idx_.end()) {
+        // Catalog mutated without a size change; rebuild once.
+        rebuildPlatformIndex();
+        it = platform_idx_.find(srv.platform().name);
+        assert(it != platform_idx_.end());
+    }
+    return it->second;
+}
+
+const GreedyScheduler::ServerCacheEntry &
+GreedyScheduler::cachedState(const sim::Server &srv) const
+{
+    if (cache_.size() < cluster_.size())
+        cache_.resize(cluster_.size());
+    ServerCacheEntry &e = cache_[size_t(srv.id())];
+    if (e.version != srv.version()) {
+        e.contention = srv.contentionForNewcomer();
+        e.free_cores = srv.coresFree();
+        e.free_mem = srv.memoryFree();
+        e.free_storage = srv.storageFree();
+        e.speed = srv.speedFactor();
+        e.available = srv.available();
+        Evictable be = bestEffortTotals(srv);
+        e.be_cores = be.cores;
+        e.be_mem = be.memory_gb;
+        e.be_storage = be.storage_gb;
+        e.version = srv.version();
+    }
+    return e;
+}
 
 bool
 GreedyScheduler::evictable(const sim::TaskShare &victim,
@@ -82,20 +147,48 @@ GreedyScheduler::evictable(const sim::TaskShare &victim,
     return registry_->get(victim.workload).priority < w.priority;
 }
 
+void
+GreedyScheduler::priorityEvictable(const sim::Server &srv,
+                                   const workload::Workload &w,
+                                   int &cores, double &memory_gb,
+                                   double &storage_gb) const
+{
+    if (!registry_)
+        return;
+    for (const sim::TaskShare &t : srv.tasks()) {
+        if (t.best_effort)
+            continue; // the cache already totals the best-effort pool
+        if (!registry_->contains(t.workload))
+            continue;
+        if (registry_->get(t.workload).priority < w.priority) {
+            cores += t.cores;
+            memory_gb += t.memory_gb;
+            storage_gb += t.storage_gb;
+        }
+    }
+}
+
 double
 GreedyScheduler::serverQuality(const sim::Server &srv,
                                const WorkloadEstimate &est) const
 {
     // Quality = platform speedup x predicted interference multiplier.
-    auto map = platformIndex(cluster_);
-    auto it = map.find(srv.platform().name);
-    assert(it != map.end());
-    double pf = est.platform_factor[it->second];
-    double im = est.interferenceMultiplier(srv.contentionForNewcomer(),
-                                           cfg_.slope_guess);
     // Degraded machines rank (and predict) proportionally lower; a
     // down machine is worth nothing.
-    return pf * im * srv.speedFactor();
+    if (cfg_.full_rescan) {
+        auto map = legacyPlatformIndex(cluster_);
+        auto it = map.find(srv.platform().name);
+        assert(it != map.end());
+        double pf = est.platform_factor[it->second];
+        double im = est.interferenceMultiplier(
+            srv.contentionForNewcomer(), cfg_.slope_guess);
+        return pf * im * srv.speedFactor();
+    }
+    double pf = est.platform_factor[platformIndexOf(srv)];
+    const ServerCacheEntry &e = cachedState(srv);
+    double im = est.interferenceMultiplier(e.contention,
+                                           cfg_.slope_guess);
+    return pf * im * e.speed;
 }
 
 GreedyScheduler::NodePick
@@ -105,27 +198,44 @@ GreedyScheduler::pickNodeConfig(const sim::Server &srv, const Workload &w,
                                 double perf_needed) const
 {
     NodePick pick;
-    auto map = platformIndex(cluster_);
-    size_t p_idx = map.at(srv.platform().name);
-
-    int free_cores = srv.coresFree();
-    double free_mem = srv.memoryFree();
-    double free_storage = srv.storageFree();
+    size_t p_idx;
+    int free_cores;
+    double free_mem, free_storage, interf;
+    if (cfg_.full_rescan) {
+        auto map = legacyPlatformIndex(cluster_);
+        p_idx = map.at(srv.platform().name);
+        free_cores = srv.coresFree();
+        free_mem = srv.memoryFree();
+        free_storage = srv.storageFree();
+        interf = est.interferenceMultiplier(srv.contentionForNewcomer(),
+                                            cfg_.slope_guess) *
+                 srv.speedFactor();
+        if (count_evictable) {
+            Evictable be = bestEffortTotals(srv);
+            free_cores += be.cores;
+            free_mem += be.memory_gb;
+            free_storage += be.storage_gb;
+        }
+    } else {
+        p_idx = platformIndexOf(srv);
+        const ServerCacheEntry &e = cachedState(srv);
+        free_cores = e.free_cores;
+        free_mem = e.free_mem;
+        free_storage = e.free_storage;
+        interf = est.interferenceMultiplier(e.contention,
+                                            cfg_.slope_guess) *
+                 e.speed;
+        if (count_evictable) {
+            free_cores += e.be_cores;
+            free_mem += e.be_mem;
+            free_storage += e.be_storage;
+        }
+    }
     if (count_evictable) {
-        Evictable e = evictableCapacity(
-            srv, [&](const sim::TaskShare &t) {
-                return evictable(t, w);
-            });
-        free_cores += e.cores;
-        free_mem += e.memory_gb;
-        free_storage += e.storage_gb;
+        priorityEvictable(srv, w, free_cores, free_mem, free_storage);
     }
     if (free_cores < 1 || free_storage < w.storage_gb_per_node)
         return pick;
-
-    double interf = est.interferenceMultiplier(
-                        srv.contentionForNewcomer(), cfg_.slope_guess) *
-                    srv.speedFactor();
 
     // Scan feasible columns for the best achievable node perf.
     double best_perf = 0.0;
@@ -225,29 +335,70 @@ GreedyScheduler::allocate(const Workload &w, const WorkloadEstimate &est,
             ? std::min<int>(cfg_.max_nodes, int(cluster_.size()))
             : 1;
 
-    // Rank candidate servers by decreasing quality.
+    // Rank candidate servers by decreasing quality. The full_rescan
+    // path sorts everything up front (legacy); the incremental path
+    // heapifies and pops lazily, so a placement that settles after k
+    // servers never orders the remaining N - k.
     std::vector<std::pair<double, ServerId>> ranked;
-    ranked.reserve(cluster_.size());
-    for (size_t i = 0; i < cluster_.size(); ++i) {
-        const sim::Server &srv = cluster_.server(ServerId(i));
-        if (!srv.available())
-            continue; // down machines accept no placements
-        int free = srv.coresFree();
-        if (may_evict)
-            free += evictableCapacity(srv, [&](const sim::TaskShare &t) {
-                        return evictable(t, w);
-                    }).cores;
-        if (free < 1)
-            continue;
-        ranked.emplace_back(serverQuality(srv, est), ServerId(i));
+    {
+        stats::ScopedTimer timer(timing_.rank);
+        ranked.reserve(cluster_.size());
+        for (size_t i = 0; i < cluster_.size(); ++i) {
+            const sim::Server &srv = cluster_.server(ServerId(i));
+            bool avail;
+            int free;
+            if (cfg_.full_rescan) {
+                avail = srv.available();
+                free = srv.coresFree();
+                if (avail && may_evict) {
+                    free += bestEffortTotals(srv).cores;
+                }
+            } else {
+                const ServerCacheEntry &e = cachedState(srv);
+                avail = e.available;
+                free = e.free_cores;
+                if (avail && may_evict) {
+                    free += e.be_cores;
+                }
+            }
+            if (avail && may_evict) {
+                double pm = 0.0, ps = 0.0;
+                priorityEvictable(srv, w, free, pm, ps);
+            }
+            if (!avail || free < 1)
+                continue; // down machines accept no placements
+            ranked.emplace_back(serverQuality(srv, est), ServerId(i));
+        }
+        if (cfg_.full_rescan) {
+            std::sort(ranked.begin(), ranked.end(), rankedBefore);
+        } else {
+            std::make_heap(ranked.begin(), ranked.end(),
+                           [](const auto &a, const auto &b) {
+                               return rankedBefore(b, a);
+                           });
+        }
     }
-    std::sort(ranked.begin(), ranked.end(), [](const auto &a,
-                                               const auto &b) {
-        if (a.first != b.first)
-            return a.first > b.first;
-        return a.second < b.second;
-    });
 
+    // nth(i): the i-th best candidate. Pops the heap on demand (popped
+    // elements settle, sorted, at the tail), so both paths present the
+    // identical order the comparator defines.
+    size_t popped = 0;
+    auto nth = [&](size_t i) {
+        if (cfg_.full_rescan)
+            return ranked[i];
+        while (popped <= i) {
+            std::pop_heap(ranked.begin(),
+                          ranked.begin() +
+                              ptrdiff_t(ranked.size() - popped),
+                          [](const auto &a, const auto &b) {
+                              return rankedBefore(b, a);
+                          });
+            ++popped;
+        }
+        return ranked[ranked.size() - 1 - i];
+    };
+
+    stats::ScopedTimer timer(timing_.place);
     Allocation alloc;
     std::vector<double> node_perfs;
     const FrameworkKnobs *knob_filter = nullptr;
@@ -256,150 +407,184 @@ GreedyScheduler::allocate(const Workload &w, const WorkloadEstimate &est,
     std::vector<char> zone_used(
         size_t(std::max(cluster_.numFaultZones(), 1)), 0);
 
-    // With fault-zone spreading the ranked list is walked twice: the
+    // With fault-zone spreading the candidates are walked twice: the
     // first pass only takes servers in fresh zones; the second pass
-    // relaxes the constraint if the target is still unmet.
-    std::vector<std::pair<double, ServerId>> walk = ranked;
-    if (cfg_.spread_fault_zones) {
-        walk.clear();
-        for (const auto &e : ranked)
-            walk.push_back(e);
-        for (const auto &e : ranked)
-            walk.push_back(e);
-    }
-
-    size_t walk_pos = 0;
-    for (; walk_pos < walk.size(); ++walk_pos) {
-        const auto &[quality, sid] = walk[walk_pos];
-        if (int(alloc.nodes.size()) >= max_nodes)
-            break;
-        double predicted = est.jobPerf(node_perfs);
-        if (predicted >= target)
-            break;
-
-        const sim::Server &srv = cluster_.server(sid);
-        if (srv.hosts(w.id))
-            continue;
-        bool already_chosen = false;
-        for (const AllocationNode &n : alloc.nodes)
-            already_chosen = already_chosen || n.server == sid;
-        if (already_chosen)
-            continue;
-        if (cfg_.spread_fault_zones && walk_pos < ranked.size() &&
-            zone_used[size_t(srv.faultZone())])
-            continue; // first pass: fresh zones only
-        // Per-node perf needed to close the gap if this node joins.
-        int n_next = int(node_perfs.size()) + 1;
-        double eff = est.scaleOutSpeedupAt(n_next) / double(n_next);
-        double sum_now = 0.0;
-        for (double v : node_perfs)
-            sum_now += v;
-        double needed =
-            eff > 0.0 ? target / eff - sum_now
-                      : std::numeric_limits<double>::infinity();
-        needed = std::max(needed, 1e-9);
-
-        NodePick pick = pickNodeConfig(srv, w, est, may_evict, needed);
-        if (!pick.valid)
-            continue;
-        if (knob_filter &&
-            !(est.scale_up_grid[pick.col].knobs == *knob_filter)) {
-            // Keep one knob setting across the job: re-scan restricted
-            // to matching columns by rejecting mismatches.
-            bool fixed = false;
-            for (size_t c = 0; c < est.scale_up_grid.size(); ++c) {
-                const auto &cfg = est.scale_up_grid[c];
-                if (!(cfg.knobs == *knob_filter))
-                    continue;
-                if (cfg.cores != pick.cores ||
-                    cfg.memory_gb != pick.memory_gb)
-                    continue;
-                pick.col = c;
-                auto map = platformIndex(cluster_);
-                double interf =
-                    est.interferenceMultiplier(
-                        srv.contentionForNewcomer(),
-                        cfg_.slope_guess) *
-                    srv.speedFactor();
-                pick.perf =
-                    est.nodePerf(map.at(srv.platform().name), c) *
-                    interf;
-                fixed = true;
+    // relaxes the constraint if the target is still unmet. A server
+    // already chosen in pass one is never picked again (each candidate
+    // contributes at most one node per allocation).
+    const int passes = cfg_.spread_fault_zones ? 2 : 1;
+    bool done = false;
+    for (int pass = 0; pass < passes && !done; ++pass) {
+        for (size_t i = 0; i < ranked.size(); ++i) {
+            if (int(alloc.nodes.size()) >= max_nodes) {
+                done = true;
                 break;
             }
-            if (!fixed)
-                continue;
-        }
-        if (!residentsTolerate(srv, est, pick.cores, estimates))
-            continue;
-
-        // Diminishing returns: when this node's marginal contribution
-        // falls well below what it would deliver standalone, the
-        // scale-out knee has passed and further servers are wasted
-        // (checked before planning evictions so no one is evicted for
-        // a node that is never placed).
-        if (!node_perfs.empty() && pick.perf > 0.0) {
-            std::vector<double> with_node = node_perfs;
-            with_node.push_back(pick.perf);
-            double gain =
-                est.jobPerf(with_node) - est.jobPerf(node_perfs);
-            if (gain < cfg_.min_marginal_efficiency * pick.perf)
+            double predicted = est.jobPerf(node_perfs);
+            if (predicted >= target) {
+                done = true;
                 break;
-        }
+            }
 
-        // Plan evictions when the raw free capacity is insufficient.
-        if (may_evict && (pick.cores > srv.coresFree() ||
-                          pick.memory_gb > srv.memoryFree() + 1e-9)) {
-            int need_cores = pick.cores - srv.coresFree();
-            double need_mem = pick.memory_gb - srv.memoryFree();
-            // Evict best-effort first, then ascending priority, and
-            // larger shares before smaller ones.
-            std::vector<const sim::TaskShare *> be;
-            for (const sim::TaskShare &t : srv.tasks())
-                if (evictable(t, w))
-                    be.push_back(&t);
-            auto prio = [&](const sim::TaskShare *t) {
-                if (t->best_effort || !registry_ ||
-                    !registry_->contains(t->workload))
-                    return std::numeric_limits<int>::min();
-                return registry_->get(t->workload).priority;
-            };
-            std::sort(be.begin(), be.end(),
-                      [&](const auto *a, const auto *b) {
-                          if (prio(a) != prio(b))
-                              return prio(a) < prio(b);
-                          return a->cores > b->cores;
-                      });
-            for (const sim::TaskShare *t : be) {
-                if (need_cores <= 0 && need_mem <= 1e-9)
+            const auto [quality, sid] = nth(i);
+            (void)quality;
+            const sim::Server &srv = cluster_.server(sid);
+            if (srv.hosts(w.id))
+                continue;
+            bool already_chosen = false;
+            for (const AllocationNode &n : alloc.nodes)
+                already_chosen = already_chosen || n.server == sid;
+            if (already_chosen)
+                continue;
+            if (cfg_.spread_fault_zones && pass == 0 &&
+                zone_used[size_t(srv.faultZone())])
+                continue; // first pass: fresh zones only
+            // Per-node perf needed to close the gap if this node joins.
+            int n_next = int(node_perfs.size()) + 1;
+            double eff = est.scaleOutSpeedupAt(n_next) / double(n_next);
+            double sum_now = 0.0;
+            for (double v : node_perfs)
+                sum_now += v;
+            double needed =
+                eff > 0.0 ? target / eff - sum_now
+                          : std::numeric_limits<double>::infinity();
+            needed = std::max(needed, 1e-9);
+
+            NodePick pick =
+                pickNodeConfig(srv, w, est, may_evict, needed);
+            if (!pick.valid)
+                continue;
+            if (knob_filter &&
+                !(est.scale_up_grid[pick.col].knobs == *knob_filter)) {
+                // Keep one knob setting across the job: re-scan
+                // restricted to matching columns by rejecting
+                // mismatches.
+                size_t p_idx;
+                double interf;
+                if (cfg_.full_rescan) {
+                    auto map = legacyPlatformIndex(cluster_);
+                    p_idx = map.at(srv.platform().name);
+                    interf = est.interferenceMultiplier(
+                                 srv.contentionForNewcomer(),
+                                 cfg_.slope_guess) *
+                             srv.speedFactor();
+                } else {
+                    p_idx = platformIndexOf(srv);
+                    const ServerCacheEntry &e = cachedState(srv);
+                    interf = est.interferenceMultiplier(
+                                 e.contention, cfg_.slope_guess) *
+                             e.speed;
+                }
+                bool fixed = false;
+                for (size_t c = 0; c < est.scale_up_grid.size(); ++c) {
+                    const auto &cfg = est.scale_up_grid[c];
+                    if (!(cfg.knobs == *knob_filter))
+                        continue;
+                    if (cfg.cores != pick.cores ||
+                        cfg.memory_gb != pick.memory_gb)
+                        continue;
+                    pick.col = c;
+                    pick.perf = est.nodePerf(p_idx, c) * interf;
+                    fixed = true;
                     break;
-                alloc.evictions.emplace_back(sid, t->workload);
-                need_cores -= t->cores;
-                need_mem -= t->memory_gb;
+                }
+                if (!fixed)
+                    continue;
             }
-            if (need_cores > 0 || need_mem > 1e-9)
-                continue; // still does not fit
-        }
-
-        // Cost target (Sec. 4.4): never exceed the spending cap.
-        if (w.cost_cap_per_hour > 0.0) {
-            double node_cost = srv.platform().cost_per_hour *
-                               double(pick.cores) /
-                               double(srv.platform().cores);
-            if (cost_so_far + node_cost > w.cost_cap_per_hour)
+            if (!residentsTolerate(srv, est, pick.cores, estimates))
                 continue;
-            cost_so_far += node_cost;
-        }
 
-        if (alloc.nodes.empty()) {
-            chosen_knobs = est.scale_up_grid[pick.col].knobs;
-            if (w.type == workload::WorkloadType::Analytics)
-                knob_filter = &chosen_knobs;
+            // Diminishing returns: when this node's marginal
+            // contribution falls well below what it would deliver
+            // standalone, the scale-out knee has passed and further
+            // servers are wasted (checked before planning evictions so
+            // no one is evicted for a node that is never placed).
+            if (!node_perfs.empty() && pick.perf > 0.0) {
+                std::vector<double> with_node = node_perfs;
+                with_node.push_back(pick.perf);
+                double gain =
+                    est.jobPerf(with_node) - est.jobPerf(node_perfs);
+                if (gain < cfg_.min_marginal_efficiency * pick.perf) {
+                    done = true;
+                    break;
+                }
+            }
+
+            // Plan evictions when the raw free capacity is
+            // insufficient — into a local list, committed only once
+            // the node clears every remaining check. Nothing may land
+            // in alloc.evictions for a node that is rejected later
+            // (cost cap) or for a server revisited by the relaxed
+            // spreading pass, or the same share would be consumed
+            // twice in one schedule call.
+            std::vector<std::pair<ServerId, WorkloadId>> planned;
+            int base_free_cores;
+            double base_free_mem;
+            if (cfg_.full_rescan) {
+                base_free_cores = srv.coresFree();
+                base_free_mem = srv.memoryFree();
+            } else {
+                const ServerCacheEntry &e = cachedState(srv);
+                base_free_cores = e.free_cores;
+                base_free_mem = e.free_mem;
+            }
+            if (may_evict && (pick.cores > base_free_cores ||
+                              pick.memory_gb > base_free_mem + 1e-9)) {
+                int need_cores = pick.cores - base_free_cores;
+                double need_mem = pick.memory_gb - base_free_mem;
+                // Evict best-effort first, then ascending priority,
+                // and larger shares before smaller ones.
+                std::vector<const sim::TaskShare *> be;
+                for (const sim::TaskShare &t : srv.tasks())
+                    if (evictable(t, w))
+                        be.push_back(&t);
+                auto prio = [&](const sim::TaskShare *t) {
+                    if (t->best_effort || !registry_ ||
+                        !registry_->contains(t->workload))
+                        return std::numeric_limits<int>::min();
+                    return registry_->get(t->workload).priority;
+                };
+                std::sort(be.begin(), be.end(),
+                          [&](const auto *a, const auto *b) {
+                              if (prio(a) != prio(b))
+                                  return prio(a) < prio(b);
+                              return a->cores > b->cores;
+                          });
+                for (const sim::TaskShare *t : be) {
+                    if (need_cores <= 0 && need_mem <= 1e-9)
+                        break;
+                    planned.emplace_back(sid, t->workload);
+                    need_cores -= t->cores;
+                    need_mem -= t->memory_gb;
+                }
+                if (need_cores > 0 || need_mem > 1e-9)
+                    continue; // still does not fit
+            }
+
+            // Cost target (Sec. 4.4): never exceed the spending cap.
+            // Checked before anything is committed so a rejection
+            // leaves no trace.
+            if (w.cost_cap_per_hour > 0.0) {
+                double node_cost = srv.platform().cost_per_hour *
+                                   double(pick.cores) /
+                                   double(srv.platform().cores);
+                if (cost_so_far + node_cost > w.cost_cap_per_hour)
+                    continue;
+                cost_so_far += node_cost;
+            }
+
+            if (alloc.nodes.empty()) {
+                chosen_knobs = est.scale_up_grid[pick.col].knobs;
+                if (w.type == workload::WorkloadType::Analytics)
+                    knob_filter = &chosen_knobs;
+            }
+            alloc.evictions.insert(alloc.evictions.end(),
+                                   planned.begin(), planned.end());
+            alloc.nodes.push_back({sid, pick.col, pick.cores,
+                                   pick.memory_gb, pick.perf});
+            node_perfs.push_back(pick.perf);
+            zone_used[size_t(srv.faultZone())] = 1;
         }
-        alloc.nodes.push_back({sid, pick.col, pick.cores,
-                               pick.memory_gb, pick.perf});
-        node_perfs.push_back(pick.perf);
-        zone_used[size_t(srv.faultZone())] = 1;
     }
 
     if (alloc.nodes.empty())

@@ -12,6 +12,18 @@
  * server's residents must tolerate the candidate's caused pressure.
  * Best-effort residents may be marked for eviction to make room for
  * primary workloads.
+ *
+ * Decision-path performance: the platform-name→catalog-index map is
+ * built once per cluster, and each server's newcomer-contention
+ * ledger summary, free capacity, and health are kept in a per-server
+ * index revalidated against the server's change epoch
+ * (sim::Server::version()) instead of being recomputed per placement.
+ * Candidate servers are then drawn lazily from a max-heap, so a
+ * placement that settles after k servers costs O(N + k log N) rather
+ * than a full O(N log N) re-sort plus N ledger walks. The legacy
+ * recompute-everything path is kept behind SchedulerConfig::
+ * full_rescan for A/B validation; both paths make identical
+ * decisions.
  */
 
 #ifndef QUASAR_CORE_SCHEDULER_HH
@@ -19,10 +31,13 @@
 
 #include <functional>
 #include <optional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/estimate.hh"
 #include "sim/cluster.hh"
+#include "stats/timing.hh"
 #include "workload/workload.hh"
 
 namespace quasar::core
@@ -80,6 +95,22 @@ struct SchedulerConfig
      * prefer servers in zones the allocation does not use yet.
      */
     bool spread_fault_zones = false;
+    /**
+     * Legacy decision path: recompute every server's contention
+     * summary from the ledger and fully re-sort all candidates on
+     * each placement, bypassing the incremental per-server index.
+     * Kept for A/B validation — must pick identical placements.
+     */
+    bool full_rescan = false;
+};
+
+/** Wall-clock timing of the scheduler's decision phases. */
+struct SchedulerTiming
+{
+    /** Candidate scoring + ranking (index refresh included). */
+    stats::TimerStat rank;
+    /** The greedy walk: node sizing, checks, eviction planning. */
+    stats::TimerStat place;
 };
 
 /**
@@ -100,7 +131,10 @@ class GreedyScheduler
      */
     GreedyScheduler(const sim::Cluster &cluster, SchedulerConfig cfg = {},
                     const workload::WorkloadRegistry *registry = nullptr)
-        : cluster_(cluster), cfg_(cfg), registry_(registry) {}
+        : cluster_(cluster), cfg_(cfg), registry_(registry)
+    {
+        rebuildPlatformIndex();
+    }
 
     /**
      * Find an allocation meeting required_perf (absolute units
@@ -122,12 +156,21 @@ class GreedyScheduler
 
     /**
      * Server quality score used for ranking (platform factor x
-     * predicted interference multiplier x free-capacity factor).
+     * predicted interference multiplier x speed factor).
      */
     double serverQuality(const sim::Server &srv,
                          const WorkloadEstimate &est) const;
 
+    /**
+     * Catalog index of the server's platform from the cached
+     * name→index map (rebuilt automatically if the catalog changed).
+     */
+    size_t platformIndexOf(const sim::Server &srv) const;
+
     const SchedulerConfig &config() const { return cfg_; }
+
+    /** Decision-phase wall-clock timing since construction. */
+    const SchedulerTiming &timing() const { return timing_; }
 
   private:
     struct NodePick
@@ -138,6 +181,40 @@ class GreedyScheduler
         double perf = 0.0;
         bool valid = false;
     };
+
+    /**
+     * Per-server cached decision state, revalidated lazily against
+     * the server's change epoch (incremental ranking index).
+     */
+    struct ServerCacheEntry
+    {
+        uint64_t version = ~uint64_t(0); ///< epoch the entry matches.
+        interference::IVector contention{}; ///< newcomer contention.
+        int free_cores = 0;
+        double free_mem = 0.0;
+        double free_storage = 0.0;
+        double speed = 1.0;
+        bool available = true;
+        /** Best-effort residents' totals (always-evictable pool). */
+        int be_cores = 0;
+        double be_mem = 0.0;
+        double be_storage = 0.0;
+    };
+
+    /** Cached state for srv, refreshed if its epoch moved. */
+    const ServerCacheEntry &cachedState(const sim::Server &srv) const;
+
+    /** Rebuild the platform-name→index map from the catalog. */
+    void rebuildPlatformIndex() const;
+
+    /**
+     * Extra evictable capacity from priority preemption (residents of
+     * strictly lower priority than w, excluding best-effort tasks,
+     * which the cache already totals).
+     */
+    void priorityEvictable(const sim::Server &srv,
+                           const workload::Workload &w, int &cores,
+                           double &memory_gb, double &storage_gb) const;
 
     /**
      * Best per-node configuration on a server given free resources
@@ -164,6 +241,13 @@ class GreedyScheduler
     const sim::Cluster &cluster_;
     SchedulerConfig cfg_;
     const workload::WorkloadRegistry *registry_;
+
+    /** Platform-name→catalog-index map, built once per catalog. */
+    mutable std::unordered_map<std::string, size_t> platform_idx_;
+    mutable size_t indexed_catalog_size_ = 0;
+    /** The incremental per-server ranking index. */
+    mutable std::vector<ServerCacheEntry> cache_;
+    mutable SchedulerTiming timing_;
 };
 
 } // namespace quasar::core

@@ -1,6 +1,8 @@
 #include "driver/scenario.hh"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "workload/queueing.hh"
 
@@ -56,10 +58,28 @@ ScenarioDriver::integrateProgress(workload::Workload &w, double t)
         return;
     }
     double rate = oracle_.currentRate(w, t);
-    double dt = t - w.last_progress_update;
+    // A workload whose only server is down or fully degraded (speed
+    // factor 0) reports a zero rate; a hosed model could even return
+    // a negative or non-finite one. Either way the completion-time
+    // division below must never see it: clamp to "no progress" and
+    // let wall-clock advance.
+    if (!std::isfinite(rate) || rate < 0.0)
+        rate = 0.0;
+    double dt = std::max(t - w.last_progress_update, 0.0);
     double remaining = w.total_work - w.work_done;
+    if (remaining <= 0.0) {
+        // Work already accounted for (e.g. progress settled by a
+        // fault hook at this same instant); finish now, not at a
+        // time extrapolated through a division by the current rate.
+        w.work_done = w.total_work;
+        completeWorkload(w, t);
+        return;
+    }
     if (rate > 0.0 && rate * dt >= remaining) {
         double at = w.last_progress_update + remaining / rate;
+        // Guard against rounding pushing the completion instant
+        // outside the integration window.
+        at = std::min(std::max(at, w.last_progress_update), t);
         w.work_done = w.total_work;
         completeWorkload(w, at);
         return;

@@ -24,7 +24,8 @@ void
 FaultInjector::degradeServer(double t, ServerId sid, double speed_factor)
 {
     assert(sid < cluster_.size());
-    assert(speed_factor > 0.0 && speed_factor < 1.0);
+    // 0 is a legal full stall (Server::degrade clamps into [0, 1)).
+    assert(speed_factor >= 0.0 && speed_factor < 1.0);
     plan_.push_back(
         {t, FaultKind::ServerDegrade, sid, -1, speed_factor});
 }

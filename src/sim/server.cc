@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace quasar::sim
 {
@@ -24,6 +25,7 @@ Server::markDown()
     std::vector<TaskShare> displaced;
     if (state_ == ServerState::Down)
         return displaced;
+    bumpVersion();
     state_ = ServerState::Down;
     speed_factor_ = 1.0;
     displaced.swap(tasks_);
@@ -34,9 +36,15 @@ Server::markDown()
 bool
 Server::degrade(double speed_factor)
 {
-    assert(speed_factor > 0.0 && speed_factor < 1.0);
     if (state_ == ServerState::Down)
         return false;
+    // Clamp into [0, 1): 0 models a fully stalled machine (failing
+    // controller, thermal shutdown-in-progress) that still holds its
+    // shares; NaN and negative inputs stall rather than corrupt.
+    if (!(speed_factor >= 0.0))
+        speed_factor = 0.0;
+    speed_factor = std::min(speed_factor, std::nextafter(1.0, 0.0));
+    bumpVersion();
     state_ = ServerState::Degraded;
     speed_factor_ = speed_factor;
     return true;
@@ -45,6 +53,7 @@ Server::degrade(double speed_factor)
 void
 Server::recover()
 {
+    bumpVersion();
     state_ = ServerState::Up;
     speed_factor_ = 1.0;
 }
@@ -60,7 +69,10 @@ Server::checkInvariants() const
         return false;
     if (state_ == ServerState::Down && !tasks_.empty())
         return false;
-    if (speed_factor_ <= 0.0 || speed_factor_ > 1.0)
+    // Fully stalled (speed 0) is legal only in the degraded state.
+    if (speed_factor_ < 0.0 || speed_factor_ > 1.0)
+        return false;
+    if (state_ != ServerState::Degraded && speed_factor_ != 1.0)
         return false;
     for (size_t i = 0; i < tasks_.size(); ++i) {
         if (tasks_[i].workload == kInvalidWorkload)
@@ -80,6 +92,7 @@ Server::place(const TaskShare &share)
     assert(share.workload != kInvalidWorkload);
     assert(!hosts(share.workload));
     assert(canFit(share.cores, share.memory_gb, share.storage_gb));
+    bumpVersion();
     tasks_.push_back(share);
 }
 
@@ -92,6 +105,7 @@ Server::remove(WorkloadId w)
                            });
     if (it == tasks_.end())
         return false;
+    bumpVersion();
     tasks_.erase(it);
     return true;
 }
@@ -112,6 +126,7 @@ Server::resize(WorkloadId w, int cores, double memory_gb)
     double extra_mem = memory_gb - t->memory_gb;
     if (extra_cores > coresFree() || extra_mem > memoryFree() + 1e-9)
         return false;
+    bumpVersion();
     // Scale caused pressure with the new core share.
     if (t->cores > 0) {
         double ratio = double(cores) / double(t->cores);
@@ -220,6 +235,7 @@ Server::contentionForNewcomer() const
 void
 Server::injectPressure(const IVector &normalized)
 {
+    bumpVersion();
     for (size_t i = 0; i < kNumSources; ++i)
         injected_[i] += normalized[i] * platform_.contention_capacity[i];
 }
@@ -227,6 +243,7 @@ Server::injectPressure(const IVector &normalized)
 void
 Server::clearInjectedPressure()
 {
+    bumpVersion();
     injected_ = interference::zeroVector();
 }
 
@@ -237,6 +254,7 @@ Server::setIsolation(WorkloadId w, interference::Source source,
     TaskShare *t = findShare(w);
     if (!t)
         return false;
+    bumpVersion();
     t->isolation[static_cast<size_t>(source)] = isolated ? 1.0 : 0.0;
     return true;
 }

@@ -64,6 +64,16 @@ class Server
     /** Failure-domain id (rack/PDU); Sec. 4.4 fault zones. */
     int faultZone() const { return fault_zone_; }
 
+    /**
+     * Change epoch: bumped by every mutation that affects placement
+     * decisions (shares, health, injected pressure, isolation) — the
+     * scheduler's per-server index revalidates against it instead of
+     * re-walking the contention ledger on every placement. Usage
+     * updates (setUsage) do not bump it: measured core usage feeds
+     * only utilization reporting, never placement.
+     */
+    uint64_t version() const { return version_; }
+
     /** @name Health */
     /// @{
     ServerState state() const { return state_; }
@@ -81,8 +91,9 @@ class Server
      */
     std::vector<TaskShare> markDown();
     /**
-     * Enter the degraded state at the given speed factor in (0, 1);
-     * resident tasks keep running, slower. False when down.
+     * Enter the degraded state at the given speed factor, clamped
+     * into [0, 1): 0 is a fully stalled (but not crashed) machine
+     * whose resident tasks make no progress. False when down.
      */
     bool degrade(double speed_factor);
     /** Return to full-speed service (empty after a crash). */
@@ -169,11 +180,15 @@ class Server
     TaskShare *findShare(WorkloadId w);
     interference::IVector rawPressureExcluding(WorkloadId w) const;
 
+    /** Note a placement-relevant mutation (see version()). */
+    void bumpVersion() { ++version_; }
+
     ServerId id_;
     Platform platform_;
     int fault_zone_ = 0;
     ServerState state_ = ServerState::Up;
     double speed_factor_ = 1.0;
+    uint64_t version_ = 0;
     std::vector<TaskShare> tasks_;
     interference::IVector injected_ = interference::zeroVector();
 };

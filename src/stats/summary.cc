@@ -80,7 +80,14 @@ Samples::max() const
 double
 Samples::percentile(double p) const
 {
-    assert(p >= 0.0 && p <= 100.0);
+    // Out-of-range or NaN ranks must not reach the interpolation
+    // below: a negative rank cast to size_t is UB, and release
+    // builds compile the assert away. NaN orders below everything,
+    // matching "no meaningful rank requested".
+    if (!(p >= 0.0))
+        p = 0.0;
+    else if (p > 100.0)
+        p = 100.0;
     if (xs_.empty())
         return 0.0;
     std::vector<double> sorted(xs_);

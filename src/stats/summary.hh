@@ -60,7 +60,9 @@ class Samples
 
     /**
      * Linear-interpolated percentile.
-     * @param p percentile in [0, 100].
+     * @param p percentile, clamped into [0, 100] (NaN maps to 0,
+     *        i.e. the minimum); 0.0 on an empty sample set. Safe to
+     *        call from report/bench code without pre-validation.
      */
     double percentile(double p) const;
 

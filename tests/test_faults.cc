@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <unordered_set>
 
 #include "baselines/autoscale.hh"
@@ -121,6 +123,40 @@ TEST(ServerHealth, DegradeKeepsTasksAtReducedSpeed)
     // A dead machine cannot be degraded.
     srv.markDown();
     EXPECT_FALSE(srv.degrade(0.4));
+}
+
+// Regression: degrade(0.0) — a fully stalled but not crashed machine
+// — used to leave the server in a state its own invariant check
+// rejected (and silently violated the documented (0, 1] contract in
+// release builds, where the guarding assert compiles away). Zero and
+// garbage speed factors must clamp into [0, 1).
+TEST(ServerHealth, DegradeToZeroIsAFullStall)
+{
+    sim::Cluster cluster = sim::Cluster::localCluster();
+    sim::Server &srv = cluster.server(35);
+    srv.place(makeShare(5, 2, 4.0));
+
+    ASSERT_TRUE(srv.degrade(0.0));
+    EXPECT_EQ(srv.state(), sim::ServerState::Degraded);
+    EXPECT_TRUE(srv.available()); // stalled, not crashed
+    EXPECT_DOUBLE_EQ(srv.speedFactor(), 0.0);
+    EXPECT_EQ(srv.tasks().size(), 1u); // residents stay put
+    EXPECT_TRUE(srv.checkInvariants());
+
+    // Negative, NaN, and >= 1 factors clamp instead of corrupting.
+    ASSERT_TRUE(srv.degrade(-3.0));
+    EXPECT_DOUBLE_EQ(srv.speedFactor(), 0.0);
+    EXPECT_TRUE(srv.checkInvariants());
+    ASSERT_TRUE(srv.degrade(std::numeric_limits<double>::quiet_NaN()));
+    EXPECT_DOUBLE_EQ(srv.speedFactor(), 0.0);
+    EXPECT_TRUE(srv.checkInvariants());
+    ASSERT_TRUE(srv.degrade(1.5));
+    EXPECT_LT(srv.speedFactor(), 1.0);
+    EXPECT_EQ(srv.state(), sim::ServerState::Degraded);
+    EXPECT_TRUE(srv.checkInvariants());
+
+    srv.recover();
+    EXPECT_DOUBLE_EQ(srv.speedFactor(), 1.0);
 }
 
 TEST(ServerHealth, DegradedServerRunsWorkloadsSlower)
@@ -415,6 +451,41 @@ TEST(FaultRecovery, DisplacedServiceIsReplacedAndCounted)
     ASSERT_FALSE(now.empty());
     for (ServerId sid : now)
         EXPECT_TRUE(w.cluster.server(sid).available());
+}
+
+// Regression: a batch job whose every server is fully degraded (speed
+// factor 0) reports a zero progress rate; the driver's completion-time
+// integration must treat that as "no progress" — never a division by
+// the rate — even when the stall is followed by a crash mid-run.
+TEST(FaultRecovery, CrashWhileFullyDegradedKeepsProgressFinite)
+{
+    FaultWorld w;
+    WorkloadId id = w.registry.add(w.factory.hadoopJob("job", 80.0));
+    w.drv.addArrival(id, 1.0);
+
+    w.drv.run(300.0);
+    std::vector<ServerId> hosting = w.cluster.serversHosting(id);
+    ASSERT_FALSE(hosting.empty());
+
+    sim::FaultInjector faults(w.cluster);
+    for (ServerId sid : hosting) {
+        faults.degradeServer(500.0, sid, 0.0); // full stall
+        faults.crashServer(900.0, sid);        // then the crash
+    }
+    w.drv.installFaults(faults);
+    w.drv.run(5000.0);
+
+    const Workload &job = w.registry.get(id);
+    EXPECT_TRUE(std::isfinite(job.work_done));
+    EXPECT_LE(job.work_done, job.total_work + 1e-9);
+    EXPECT_TRUE(std::isfinite(job.last_progress_update));
+    if (job.completed) {
+        EXPECT_TRUE(std::isfinite(job.completion_time));
+        EXPECT_GE(job.completion_time, 0.0);
+    }
+    for (size_t s = 0; s < w.cluster.size(); ++s)
+        EXPECT_TRUE(w.cluster.server(ServerId(s)).checkInvariants())
+            << "server " << s;
 }
 
 TEST(FaultRecovery, RecoveryIsBitIdenticalForAFixedSeed)

@@ -229,6 +229,105 @@ TEST(Scheduler, PlansEvictionsOfBestEffort)
     EXPECT_FALSE(without.has_value());
 }
 
+namespace
+{
+
+/** Pack every server with one full-size best-effort resident. */
+void
+fillWithBestEffort(sim::Cluster &cluster, WorkloadId base = 1000)
+{
+    for (size_t s = 0; s < cluster.size(); ++s) {
+        sim::Server &srv = cluster.server(ServerId(s));
+        sim::TaskShare share;
+        share.workload = base + s;
+        share.cores = srv.platform().cores;
+        share.memory_gb = srv.platform().memory_gb;
+        share.best_effort = true;
+        srv.place(share);
+    }
+}
+
+/** Check eviction plan hygiene: no entry for an unused server, no
+ *  share consumed twice, no server picked twice. */
+void
+expectEvictionPlanConsistent(const sim::Cluster &cluster,
+                             const Allocation &alloc)
+{
+    for (const auto &[sid, victim] : alloc.evictions) {
+        bool used = false;
+        for (const auto &node : alloc.nodes)
+            used = used || node.server == sid;
+        EXPECT_TRUE(used) << "stale eviction of " << victim
+                          << " on unused server " << sid;
+    }
+    auto pairs = alloc.evictions;
+    std::sort(pairs.begin(), pairs.end());
+    EXPECT_TRUE(std::adjacent_find(pairs.begin(), pairs.end()) ==
+                pairs.end())
+        << "the same share is evicted twice in one schedule call";
+    std::vector<ServerId> servers;
+    for (const auto &node : alloc.nodes)
+        servers.push_back(node.server);
+    std::sort(servers.begin(), servers.end());
+    EXPECT_TRUE(std::adjacent_find(servers.begin(), servers.end()) ==
+                servers.end())
+        << "a server was picked twice in one allocation";
+    (void)cluster;
+}
+
+} // namespace
+
+// Regression: eviction planning used to append to the allocation's
+// eviction list *before* the cost-cap check, so a candidate rejected
+// for cost left its victims in the plan — the manager would then
+// evict best-effort tasks for a node that was never placed.
+TEST(Scheduler, CostCapRejectionLeavesNoStaleEvictions)
+{
+    World w;
+    fillWithBestEffort(w.cluster);
+    auto [id, est] = w.make(w.factory.hadoopJob("j", 60.0));
+    Workload &job = w.registry.get(id);
+    double max_cost = 0.0;
+    for (const sim::Platform &p : w.cluster.catalog())
+        max_cost = std::max(max_cost, p.cost_per_hour);
+    // Room for roughly two fat nodes; with an unreachable target the
+    // walk keeps going and cost-rejects every further candidate after
+    // its evictions were planned.
+    job.cost_cap_per_hour = 2.5 * max_cost;
+    SchedulerConfig cfg;
+    // Disable the diminishing-returns stop so the walk reaches the
+    // cost-rejected candidates instead of breaking at the knee.
+    cfg.min_marginal_efficiency = 0.0;
+    GreedyScheduler sched(w.cluster, cfg);
+    auto alloc = sched.allocate(job, est, 1e12, nullptr, true);
+    ASSERT_TRUE(alloc.has_value());
+    EXPECT_FALSE(alloc->nodes.empty());
+    expectEvictionPlanConsistent(w.cluster, *alloc);
+}
+
+// Regression: with fault-zone spreading the candidate list was walked
+// as two concatenated copies, so a server cost-rejected in the strict
+// pass had its evictions planned a second time in the relaxed pass —
+// duplicate (server, victim) entries double-counted the same share.
+TEST(Scheduler, SpreadingRelaxationDoesNotDoubleCountEvictions)
+{
+    World w;
+    fillWithBestEffort(w.cluster);
+    auto [id, est] = w.make(w.factory.hadoopJob("j", 60.0));
+    Workload &job = w.registry.get(id);
+    double max_cost = 0.0;
+    for (const sim::Platform &p : w.cluster.catalog())
+        max_cost = std::max(max_cost, p.cost_per_hour);
+    job.cost_cap_per_hour = 2.5 * max_cost;
+    SchedulerConfig cfg;
+    cfg.spread_fault_zones = true;
+    cfg.min_marginal_efficiency = 0.0; // reach the rejected candidates
+    GreedyScheduler sched(w.cluster, cfg);
+    auto alloc = sched.allocate(job, est, 1e12, nullptr, true);
+    ASSERT_TRUE(alloc.has_value());
+    expectEvictionPlanConsistent(w.cluster, *alloc);
+}
+
 TEST(Scheduler, DiminishingReturnsBoundsFootprint)
 {
     World w;

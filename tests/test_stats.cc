@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "stats/histogram.hh"
 #include "stats/rng.hh"
@@ -170,6 +171,39 @@ TEST(Samples, PercentileUnsortedInput)
     for (double x : {9.0, 1.0, 5.0, 3.0, 7.0})
         s.add(x);
     EXPECT_DOUBLE_EQ(s.percentile(50.0), 5.0);
+}
+
+// Regression: out-of-range or NaN percentile ranks used to flow into
+// the rank interpolation unchecked (percentile(-50) on {1, 2} returned
+// 0.5, below the sample minimum; in release builds a negative rank
+// cast to size_t is undefined). They must clamp to the range ends.
+TEST(Samples, PercentileClampsInvalidRanks)
+{
+    Samples s;
+    s.add(1.0);
+    s.add(2.0);
+    EXPECT_DOUBLE_EQ(s.percentile(-50.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(150.0), 2.0);
+    EXPECT_DOUBLE_EQ(s.percentile(std::numeric_limits<double>::quiet_NaN()),
+                     1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(std::numeric_limits<double>::infinity()),
+                     2.0);
+}
+
+TEST(Samples, EmptySetReportsZeroes)
+{
+    Samples s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_DOUBLE_EQ(s.percentile(50.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(-50.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+    ErrorReport r = makeErrorReport(s);
+    EXPECT_DOUBLE_EQ(r.avg, 0.0);
+    EXPECT_DOUBLE_EQ(r.p90, 0.0);
+    EXPECT_DOUBLE_EQ(r.max, 0.0);
+    EXPECT_TRUE(std::isfinite(r.p90));
 }
 
 TEST(Samples, FractionBelow)
