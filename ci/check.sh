@@ -12,6 +12,14 @@
 #      mean regresses more than 25% against the committed
 #      BENCH_decision_path.json baseline. The fresh numbers are
 #      written back to that file so improvements can be committed.
+#   4. Run the churn-stream smoke (Release): the full bench's
+#      1000-server slice — a seeded open-loop arrival/departure/fault
+#      stream through all three scheduler modes. Fails on any
+#      placement divergence
+#      between modes, or if the dirty-set mode's decisions/sec drops
+#      more than 25% below the committed BENCH_churn.json baseline
+#      (refresh that file with `bench/churn` — no --smoke — when the
+#      improvement is intentional).
 #
 # Usage: ci/check.sh [jobs]   (defaults to nproc)
 set -euo pipefail
@@ -41,5 +49,15 @@ if [ -f BENCH_decision_path.json ]; then
 fi
 ./build-release/bench/micro_overheads --decision-path \
     --out=BENCH_decision_path.json "${BASELINE_ARGS[@]}"
+
+echo "== churn smoke: mode equivalence + throughput gate =="
+cmake --build build-release -j "$JOBS" --target churn
+CHURN_BASELINE_ARGS=()
+if [ -f BENCH_churn.json ]; then
+    CHURN_BASELINE_ARGS=(--baseline=BENCH_churn.json
+                         --max-regression=0.25)
+fi
+./build-release/bench/churn --smoke --out=build-release/churn_smoke.json \
+    "${CHURN_BASELINE_ARGS[@]}"
 
 echo "== all checks passed =="

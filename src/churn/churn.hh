@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Churn engine: trace-driven open-loop workload streams for
+ * cluster-scale experiments.
+ *
+ * Production clusters are never the static populations of the paper's
+ * figures: tenants arrive, leave, change phases, and machines fail
+ * underneath them. The engine generates that churn as a seeded,
+ * reproducible event stream — arrivals paced by a Poisson or
+ * heavy-tailed Pareto process, a mixed population of services /
+ * analytics / single-node batch / best-effort fillers drawn from the
+ * workload factory, per-class lifetime distributions that retire
+ * workloads (open-loop departures), optional mid-life phase changes,
+ * and optional stochastic server faults riding the same stream.
+ *
+ * Open- vs closed-loop: the stream is OPEN-loop — the entire plan is
+ * generated ahead of time from the config's seed and never consults
+ * simulation state, so arrivals do not wait for completions and an
+ * overloaded manager faces a growing admission queue instead of a
+ * conveniently throttled trace. That is also the replay contract:
+ * identical (config, seed) produces the identical event stream no
+ * matter which scheduler mode or manager runs underneath, which is
+ * what lets the equivalence sweeps compare decision paths event for
+ * event and the benches compare sustained decision throughput.
+ */
+
+#ifndef QUASAR_CHURN_CHURN_HH
+#define QUASAR_CHURN_CHURN_HH
+
+#include <memory>
+#include <vector>
+
+#include "driver/scenario.hh"
+#include "sim/cluster.hh"
+#include "sim/failure.hh"
+#include "tracegen/durations.hh"
+#include "workload/factory.hh"
+#include "workload/workload.hh"
+
+namespace quasar::churn
+{
+
+/** Which arrival process paces the open-loop stream. */
+enum class ArrivalKind
+{
+    Poisson, ///< memoryless inter-arrivals.
+    Pareto,  ///< heavy-tailed bursts and lulls.
+};
+
+/** Population weights of the mix (normalized internally). */
+struct ChurnMix
+{
+    double single_node = 0.50; ///< SPEC/PARSEC-style batch.
+    double analytics = 0.20;   ///< Hadoop/Storm/Spark jobs.
+    double service = 0.15;     ///< latency-critical services.
+    double best_effort = 0.15; ///< evictable filler tasks.
+};
+
+/** Full description of one churn stream. */
+struct ChurnConfig
+{
+    /** Master seed: the whole plan is a pure function of it + cfg. */
+    uint64_t seed = 1;
+
+    ArrivalKind arrivals = ArrivalKind::Poisson;
+    /** Mean arrivals per second of the open-loop stream. */
+    double arrival_rate_per_s = 0.5;
+    /** Pareto tail shape (used when arrivals == Pareto). */
+    double pareto_alpha = 1.5;
+
+    /** First arrival lands here... */
+    double start_s = 1.0;
+    /** ...and generation stops at this horizon (seconds). */
+    double horizon_s = 1800.0;
+
+    ChurnMix mix;
+
+    /** @name Per-class lifetimes (departures are scheduled kills) */
+    /// @{
+    tracegen::DurationSpec service_lifetime =
+        tracegen::DurationSpec::lognormal(1200.0, 0.8);
+    tracegen::DurationSpec analytics_lifetime =
+        tracegen::DurationSpec::pareto(700.0, 1.8);
+    tracegen::DurationSpec batch_lifetime =
+        tracegen::DurationSpec::exponential(500.0);
+    tracegen::DurationSpec best_effort_lifetime =
+        tracegen::DurationSpec::exponential(300.0);
+    /// @}
+
+    /** Fraction of arrivals that morph mid-life (phase change). */
+    double phase_change_fraction = 0.08;
+
+    /** @name Stochastic machine faults (0 mttf disables) */
+    /// @{
+    double server_mttf_s = 0.0; ///< mean time to failure per server.
+    double server_mttr_s = 600.0;
+    double degrade_fraction = 0.25; ///< degrade instead of crash.
+    /// @}
+};
+
+/** The workload class a churn item was drawn from. */
+enum class ChurnClass
+{
+    SingleNode,
+    Analytics,
+    Service,
+    BestEffort,
+};
+
+/** One planned workload of the stream. */
+struct ChurnItem
+{
+    WorkloadId id = kInvalidWorkload;
+    ChurnClass cls = ChurnClass::SingleNode;
+    double arrival_s = 0.0;
+    /** Scheduled departure; <= 0 means "runs until completion". */
+    double depart_s = 0.0;
+    bool phase_change = false;
+};
+
+/** Plan-level totals (available right after install()). */
+struct ChurnCounts
+{
+    size_t arrivals = 0;
+    size_t departures_planned = 0;
+    size_t phase_changes = 0;
+};
+
+/**
+ * Generates one churn stream and schedules it onto a scenario driver.
+ * Build, call install() once, then run the driver; the engine must
+ * outlive the run (it owns the armed fault injector).
+ */
+class ChurnEngine
+{
+  public:
+    explicit ChurnEngine(ChurnConfig cfg = {}) : cfg_(cfg) {}
+
+    /**
+     * Pre-generate the full open-loop plan from the config's seed,
+     * register every workload, and schedule all arrivals, departures,
+     * phase changes, and faults onto the driver's event queue. The
+     * plan depends only on the config — never on cluster, scheduler,
+     * or manager state — so identical configs replay identically.
+     * Call once per engine.
+     */
+    void install(sim::Cluster &cluster,
+                 workload::WorkloadRegistry &registry,
+                 driver::ScenarioDriver &driver);
+
+    /** The generated plan, in arrival order. */
+    const std::vector<ChurnItem> &plan() const { return plan_; }
+
+    const ChurnCounts &counts() const { return counts_; }
+
+    /** The armed fault injector; null when faults are disabled. */
+    const sim::FaultInjector *faults() const { return faults_.get(); }
+
+  private:
+    /** Draw one workload of the given class. */
+    workload::Workload makeWorkload(ChurnClass cls, size_t idx,
+                                    workload::WorkloadFactory &factory,
+                                    const sim::Cluster &cluster) const;
+
+    ChurnConfig cfg_;
+    std::vector<ChurnItem> plan_;
+    ChurnCounts counts_;
+    std::unique_ptr<sim::FaultInjector> faults_;
+};
+
+} // namespace quasar::churn
+
+#endif // QUASAR_CHURN_CHURN_HH

@@ -128,7 +128,10 @@ QuasarManager::onSubmit(WorkloadId id, double t)
     WorkloadEstimate est;
     {
         stats::ScopedTimer timer(stats_.classify_time);
-        data = profiler_.profile(w, t, rng_);
+        {
+            stats::ScopedTimer profile_timer(stats_.profile_time);
+            data = profiler_.profile(w, t, rng_);
+        }
         est = classifier_.classify(w, data);
     }
     overhead_s_[id] +=
@@ -608,7 +611,10 @@ QuasarManager::reclassifyAndReschedule(Workload &w, double t)
     WorkloadEstimate est;
     {
         stats::ScopedTimer timer(stats_.classify_time);
-        data = profiler_.profile(w, t, rng_);
+        {
+            stats::ScopedTimer profile_timer(stats_.profile_time);
+            data = profiler_.profile(w, t, rng_);
+        }
         est = classifier_.classify(w, data);
     }
     overhead_s_[w.id] +=
@@ -706,8 +712,15 @@ QuasarManager::onTick(double t)
             auto est_it = estimates_.find(id);
             if (est_it == estimates_.end())
                 continue;
-            if (monitor_.probePhaseChange(w, est_it->second, profiler_,
-                                          t)) {
+            bool phase_changed;
+            {
+                // Proactive sampling re-profiles in a sandbox; charge
+                // it to the profiling wall-clock budget.
+                stats::ScopedTimer profile_timer(stats_.profile_time);
+                phase_changed = monitor_.probePhaseChange(
+                    w, est_it->second, profiler_, t);
+            }
+            if (phase_changed) {
                 ++stats_.phase_reclassifications;
                 reclassifyAndReschedule(w, t);
             }

@@ -102,6 +102,9 @@ struct QuasarStats
      * live in GreedyScheduler::timing().
      */
     stats::TimerStat classify_time; ///< profiling + classification.
+    /** Sandboxed profiling runs alone: the profiling subset of
+     *  classify_time, plus proactive phase-change probes. */
+    stats::TimerStat profile_time;
     stats::TimerStat schedule_time; ///< allocate() per schedule call.
     stats::TimerStat adapt_time;    ///< the adjust() decision body.
 

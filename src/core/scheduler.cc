@@ -112,26 +112,69 @@ GreedyScheduler::platformIndexOf(const sim::Server &srv) const
     return it->second;
 }
 
+void
+GreedyScheduler::refreshEntry(const sim::Server &srv,
+                              ServerCacheEntry &e) const
+{
+    e.contention = srv.contentionForNewcomer();
+    e.free_cores = srv.coresFree();
+    e.free_mem = srv.memoryFree();
+    e.free_storage = srv.storageFree();
+    e.speed = srv.speedFactor();
+    e.available = srv.available();
+    Evictable be = bestEffortTotals(srv);
+    e.be_cores = be.cores;
+    e.be_mem = be.memory_gb;
+    e.be_storage = be.storage_gb;
+    e.platform_idx = platformIndexOf(srv);
+    e.version = srv.version();
+}
+
 const GreedyScheduler::ServerCacheEntry &
 GreedyScheduler::cachedState(const sim::Server &srv) const
 {
     if (cache_.size() < cluster_.size())
         cache_.resize(cluster_.size());
     ServerCacheEntry &e = cache_[size_t(srv.id())];
-    if (e.version != srv.version()) {
-        e.contention = srv.contentionForNewcomer();
-        e.free_cores = srv.coresFree();
-        e.free_mem = srv.memoryFree();
-        e.free_storage = srv.storageFree();
-        e.speed = srv.speedFactor();
-        e.available = srv.available();
-        Evictable be = bestEffortTotals(srv);
-        e.be_cores = be.cores;
-        e.be_mem = be.memory_gb;
-        e.be_storage = be.storage_gb;
-        e.version = srv.version();
-    }
+    if (e.version != srv.version())
+        refreshEntry(srv, e);
     return e;
+}
+
+void
+GreedyScheduler::refreshIndex() const
+{
+    const sim::ChangeJournal &journal = cluster_.journal();
+    if (cache_.size() < cluster_.size())
+        cache_.resize(cluster_.size());
+    bool force = cluster_.catalog().size() != indexed_catalog_size_;
+    if (force)
+        rebuildPlatformIndex(); // platform indices may have moved
+    if (force || !index_primed_ || journal_cursor_ < journal.base()) {
+        // First use, a cursor compacted out of the journal, or a
+        // catalog change: fall back to the full epoch-check scan
+        // (exactly the cached mode's per-decision cost, once).
+        for (size_t i = 0; i < cluster_.size(); ++i) {
+            const sim::Server &srv = cluster_.server(ServerId(i));
+            ServerCacheEntry &e = cache_[i];
+            if (force || e.version != srv.version())
+                refreshEntry(srv, e);
+        }
+        index_primed_ = true;
+    } else {
+        // Incremental: replay only the servers touched since this
+        // scheduler's last decision. Duplicate journal entries dedupe
+        // through the epoch compare (first replay refreshes, the rest
+        // no-op).
+        for (uint64_t pos = journal_cursor_; pos < journal.end();
+             ++pos) {
+            const sim::Server &srv = cluster_.server(journal.at(pos));
+            ServerCacheEntry &e = cache_[size_t(srv.id())];
+            if (e.version != srv.version())
+                refreshEntry(srv, e);
+        }
+    }
+    journal_cursor_ = journal.end();
 }
 
 bool
@@ -184,6 +227,17 @@ GreedyScheduler::serverQuality(const sim::Server &srv,
             srv.contentionForNewcomer(), cfg_.slope_guess);
         return pf * im * srv.speedFactor();
     }
+    if (cfg_.dirty_set) {
+        // Public entry point (the manager scores live placements with
+        // it between decisions): replay the journal first so the entry
+        // reflects any mutation since the last refresh.
+        refreshIndex();
+        const ServerCacheEntry &e = cache_[size_t(srv.id())];
+        double pf = est.platform_factor[e.platform_idx];
+        double im = est.interferenceMultiplier(e.contention,
+                                               cfg_.slope_guess);
+        return pf * im * e.speed;
+    }
     double pf = est.platform_factor[platformIndexOf(srv)];
     const ServerCacheEntry &e = cachedState(srv);
     double im = est.interferenceMultiplier(e.contention,
@@ -217,8 +271,8 @@ GreedyScheduler::pickNodeConfig(const sim::Server &srv, const Workload &w,
             free_storage += be.storage_gb;
         }
     } else {
-        p_idx = platformIndexOf(srv);
         const ServerCacheEntry &e = cachedState(srv);
+        p_idx = cfg_.dirty_set ? e.platform_idx : platformIndexOf(srv);
         free_cores = e.free_cores;
         free_mem = e.free_mem;
         free_storage = e.free_storage;
@@ -340,20 +394,33 @@ GreedyScheduler::allocate(const Workload &w, const WorkloadEstimate &est,
     // heapifies and pops lazily, so a placement that settles after k
     // servers never orders the remaining N - k.
     std::vector<std::pair<double, ServerId>> ranked;
+    const bool dirty = !cfg_.full_rescan && cfg_.dirty_set;
     {
         stats::ScopedTimer timer(timing_.rank);
+        if (dirty)
+            refreshIndex();
         ranked.reserve(cluster_.size());
         for (size_t i = 0; i < cluster_.size(); ++i) {
-            const sim::Server &srv = cluster_.server(ServerId(i));
             bool avail;
             int free;
-            if (cfg_.full_rescan) {
+            if (dirty) {
+                // Contiguous index walk: entries are already fresh, so
+                // no Server dereference, epoch check, or name hash.
+                const ServerCacheEntry &e = cache_[i];
+                avail = e.available;
+                free = e.free_cores;
+                if (avail && may_evict) {
+                    free += e.be_cores;
+                }
+            } else if (cfg_.full_rescan) {
+                const sim::Server &srv = cluster_.server(ServerId(i));
                 avail = srv.available();
                 free = srv.coresFree();
                 if (avail && may_evict) {
                     free += bestEffortTotals(srv).cores;
                 }
             } else {
+                const sim::Server &srv = cluster_.server(ServerId(i));
                 const ServerCacheEntry &e = cachedState(srv);
                 avail = e.available;
                 free = e.free_cores;
@@ -361,13 +428,27 @@ GreedyScheduler::allocate(const Workload &w, const WorkloadEstimate &est,
                     free += e.be_cores;
                 }
             }
-            if (avail && may_evict) {
+            if (avail && may_evict && registry_) {
                 double pm = 0.0, ps = 0.0;
-                priorityEvictable(srv, w, free, pm, ps);
+                priorityEvictable(cluster_.server(ServerId(i)), w, free,
+                                  pm, ps);
             }
             if (!avail || free < 1)
                 continue; // down machines accept no placements
-            ranked.emplace_back(serverQuality(srv, est), ServerId(i));
+            double quality;
+            if (dirty) {
+                // Same factors in the same order as serverQuality's
+                // cached path, so the ranking is bitwise identical.
+                const ServerCacheEntry &e = cache_[i];
+                quality = est.platform_factor[e.platform_idx] *
+                          est.interferenceMultiplier(e.contention,
+                                                     cfg_.slope_guess) *
+                          e.speed;
+            } else {
+                quality =
+                    serverQuality(cluster_.server(ServerId(i)), est);
+            }
+            ranked.emplace_back(quality, ServerId(i));
         }
         if (cfg_.full_rescan) {
             std::sort(ranked.begin(), ranked.end(), rankedBefore);

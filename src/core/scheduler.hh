@@ -20,10 +20,23 @@
  * (sim::Server::version()) instead of being recomputed per placement.
  * Candidate servers are then drawn lazily from a max-heap, so a
  * placement that settles after k servers costs O(N + k log N) rather
- * than a full O(N log N) re-sort plus N ledger walks. The legacy
- * recompute-everything path is kept behind SchedulerConfig::
- * full_rescan for A/B validation; both paths make identical
- * decisions.
+ * than a full O(N log N) re-sort plus N ledger walks.
+ *
+ * Three ranking modes, all picking bit-identical placements:
+ *  - dirty-set (default, SchedulerConfig::dirty_set): the per-server
+ *    index is kept fresh by replaying the cluster's ChangeJournal —
+ *    only servers actually touched since the last decision are
+ *    recomputed, and the candidate walk reads the contiguous index
+ *    (cached platform indices included) without dereferencing Server
+ *    objects or hashing platform names. O(dirty) bookkeeping plus a
+ *    branch-light O(N) scoring walk; the mode churn streams at 10k
+ *    servers run on.
+ *  - cached (dirty_set = false): the pre-journal behavior — every
+ *    decision checks every server's change epoch and refreshes stale
+ *    entries lazily. Kept as the A/B midpoint.
+ *  - full_rescan: the legacy recompute-everything path (per-call
+ *    platform map, full ledger walks, eager sort), kept for A/B
+ *    validation.
  */
 
 #ifndef QUASAR_CORE_SCHEDULER_HH
@@ -102,6 +115,15 @@ struct SchedulerConfig
      * Kept for A/B validation — must pick identical placements.
      */
     bool full_rescan = false;
+    /**
+     * Dirty-set indexing (default): refresh the per-server index by
+     * replaying the cluster's change journal instead of checking
+     * every server's epoch per decision, and score candidates from
+     * the contiguous index. false falls back to the per-call
+     * epoch-check path. Ignored when full_rescan is set. All modes
+     * pick identical placements.
+     */
+    bool dirty_set = true;
 };
 
 /** Wall-clock timing of the scheduler's decision phases. */
@@ -199,10 +221,25 @@ class GreedyScheduler
         int be_cores = 0;
         double be_mem = 0.0;
         double be_storage = 0.0;
+        /** Catalog index of the server's platform (fixed per server;
+         *  cached so the dirty-set walk never hashes a name). */
+        size_t platform_idx = 0;
     };
+
+    /** Recompute e from srv's current state (all modes share this, so
+     *  the decision paths see bitwise-identical values). */
+    void refreshEntry(const sim::Server &srv, ServerCacheEntry &e) const;
 
     /** Cached state for srv, refreshed if its epoch moved. */
     const ServerCacheEntry &cachedState(const sim::Server &srv) const;
+
+    /**
+     * Dirty-set mode: bring the whole index up to date by replaying
+     * the cluster's change journal from this scheduler's cursor
+     * (falling back to a full epoch-check scan when the journal was
+     * compacted past it or the index is unprimed).
+     */
+    void refreshIndex() const;
 
     /** Rebuild the platform-name→index map from the catalog. */
     void rebuildPlatformIndex() const;
@@ -247,6 +284,10 @@ class GreedyScheduler
     mutable size_t indexed_catalog_size_ = 0;
     /** The incremental per-server ranking index. */
     mutable std::vector<ServerCacheEntry> cache_;
+    /** Dirty-set journal cursor (next journal offset to replay). */
+    mutable uint64_t journal_cursor_ = 0;
+    /** True once the dirty-set index fully covers the cluster. */
+    mutable bool index_primed_ = false;
     mutable SchedulerTiming timing_;
 };
 

@@ -35,6 +35,24 @@ ScenarioDriver::addArrival(WorkloadId id, double t)
 }
 
 void
+ScenarioDriver::killWorkload(WorkloadId id, double t)
+{
+    Workload &w = registry_.get(id);
+    if (w.completed || w.killed)
+        return;
+    // Settle batch progress up to the departure instant; the workload
+    // may complete exactly here, in which case the completion wins.
+    if (!workload::isLatencyCritical(w.type))
+        integrateProgress(w, t);
+    if (w.completed)
+        return;
+    w.killed = true;
+    w.completion_time = t;
+    cluster_.removeEverywhere(id);
+    manager_.onCompletion(id, t);
+}
+
+void
 ScenarioDriver::run(double until)
 {
     run_until_ = until;
@@ -134,6 +152,7 @@ ScenarioDriver::completeWorkload(Workload &w, double at)
 void
 ScenarioDriver::tick()
 {
+    stats::ScopedTimer tick_timer(tick_time_);
     const double t = events_.now();
     ++ticks_;
 

@@ -22,6 +22,7 @@
 #include "sim/failure.hh"
 #include "stats/summary.hh"
 #include "stats/timeseries.hh"
+#include "stats/timing.hh"
 #include "workload/workload.hh"
 
 namespace quasar::driver
@@ -58,6 +59,15 @@ class ScenarioDriver : public sim::FaultListener
     void addArrival(WorkloadId id, double t);
 
     /**
+     * Retire a workload at time t (a churn departure: the tenant
+     * leaves, the job is cancelled). Batch progress is settled first;
+     * then the workload is marked killed, its shares are dropped
+     * everywhere, and the manager sees a completion so queued work
+     * re-admits into the freed capacity. No-op if already finished.
+     */
+    void killWorkload(WorkloadId id, double t);
+
+    /**
      * Arm a fault injector against this run: its events fire on the
      * driver's event queue, and the driver settles progress, drops
      * in-flight shares on crashed servers, and relays the failure to
@@ -91,6 +101,15 @@ class ScenarioDriver : public sim::FaultListener
 
     sim::EventQueue &events() { return events_; }
     double now() const { return events_.now(); }
+
+    /**
+     * Wall-clock (host) cost of the driver tick loop — progress
+     * integration, usage refresh, recording, and the manager's
+     * adaptation hook together. Completes the decision-path timing
+     * story: classify/schedule/adapt live in QuasarStats, rank/place
+     * in SchedulerTiming, and the per-tick envelope here.
+     */
+    const stats::TimerStat &tickTiming() const { return tick_time_; }
 
     /** @name Recorded results */
     /// @{
@@ -146,6 +165,7 @@ class ScenarioDriver : public sim::FaultListener
     stats::TimeSeries agg_mem_used_;
 
     std::function<void(double)> tick_hook_;
+    stats::TimerStat tick_time_;
     std::map<WorkloadId, stats::Accumulator> norm_perf_;
     std::map<WorkloadId, ServiceTrace> service_traces_;
     size_t ticks_ = 0;

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Change journal: a bounded append-only log of server mutations that
+ * lets readers (the scheduler's dirty-set index) discover *which*
+ * servers changed since their last visit in O(changes) instead of
+ * scanning every server's change epoch per decision — the difference
+ * between O(dirty) and O(N) bookkeeping at 10k servers.
+ *
+ * The cluster owns one journal; every placement-relevant Server
+ * mutation (the same set that bumps Server::version()) appends the
+ * server's id. Readers keep their own cursor into the log, so any
+ * number of independent schedulers can consume it concurrently.
+ * Entries are *not* deduplicated — readers dedupe naturally by
+ * comparing their cached epoch against Server::version() when they
+ * refresh an entry.
+ *
+ * The log is bounded: when it exceeds its capacity the oldest half is
+ * dropped and the base offset advances. A reader whose cursor falls
+ * behind the base has missed entries and must fall back to a full
+ * version-check scan (exactly the pre-dirty-set behavior), then
+ * resynchronize its cursor to end(). Memory therefore stays O(cap)
+ * regardless of run length, and laggards degrade gracefully instead
+ * of reading stale state.
+ */
+
+#ifndef QUASAR_SIM_CHANGE_JOURNAL_HH
+#define QUASAR_SIM_CHANGE_JOURNAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace quasar::sim
+{
+
+/** Bounded multi-reader log of touched server ids. */
+class ChangeJournal
+{
+  public:
+    /** @param capacity max retained entries before compaction. */
+    explicit ChangeJournal(size_t capacity = 4096)
+        : cap_(capacity < 16 ? 16 : capacity)
+    {
+    }
+
+    /** Record a mutation of the given server. */
+    void note(ServerId id)
+    {
+        if (log_.size() >= cap_) {
+            // Drop the oldest half; laggard readers detect the base
+            // moving past their cursor and fall back to a full scan.
+            size_t drop = log_.size() / 2;
+            log_.erase(log_.begin(),
+                       log_.begin() + std::ptrdiff_t(drop));
+            base_ += drop;
+        }
+        log_.push_back(id);
+    }
+
+    /** Offset of the oldest retained entry. */
+    uint64_t base() const { return base_; }
+
+    /** One past the newest entry (a fresh reader's cursor). */
+    uint64_t end() const { return base_ + log_.size(); }
+
+    /** Entry at absolute offset pos (base() <= pos < end()). */
+    ServerId at(uint64_t pos) const { return log_[pos - base_]; }
+
+    /** Total mutations ever recorded (monotone). */
+    uint64_t totalNoted() const { return end(); }
+
+  private:
+    size_t cap_;
+    uint64_t base_ = 0;
+    std::vector<ServerId> log_;
+};
+
+} // namespace quasar::sim
+
+#endif // QUASAR_SIM_CHANGE_JOURNAL_HH

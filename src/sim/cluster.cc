@@ -1,5 +1,6 @@
 #include "sim/cluster.hh"
 
+#include <algorithm>
 #include <cassert>
 
 namespace quasar::sim
@@ -22,6 +23,13 @@ Cluster::Cluster(const std::vector<Platform> &catalog,
             total_storage_ += catalog[i].storage_gb;
         }
     }
+    // Retain enough journal history that a scheduler running one
+    // decision behind a burst touching every server still replays
+    // incrementally instead of falling back to a full scan.
+    journal_ = std::make_unique<ChangeJournal>(
+        std::max<size_t>(4096, 8 * servers_.size()));
+    for (auto &srv : servers_)
+        srv->attachJournal(journal_.get());
 }
 
 Cluster

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "sim/change_journal.hh"
 #include "sim/platform.hh"
 #include "sim/server.hh"
 
@@ -82,6 +83,14 @@ class Cluster
     /** Remove w from every server; count of shares removed. */
     size_t removeEverywhere(WorkloadId w);
 
+    /**
+     * The cluster-wide change journal every server's version bumps
+     * append to; dirty-set index readers keep a cursor into it. Held
+     * behind a stable pointer so moving the Cluster does not
+     * invalidate the servers' attachment.
+     */
+    const ChangeJournal &journal() const { return *journal_; }
+
     int totalCores() const { return total_cores_; }
     double totalMemoryGb() const { return total_memory_; }
     double totalStorageGb() const { return total_storage_; }
@@ -90,6 +99,7 @@ class Cluster
 
   private:
     std::vector<Platform> catalog_;
+    std::unique_ptr<ChangeJournal> journal_;
     std::vector<std::unique_ptr<Server>> servers_;
     int num_fault_zones_ = 1;
     int total_cores_ = 0;

@@ -34,23 +34,32 @@ EventQueue::scheduleAfter(SimTime delay, std::function<void()> fn)
     return schedule(now_ + delay, std::move(fn));
 }
 
+void
+EventQueue::pruneCancelledTop() const
+{
+    // Cancelled items may linger in the heap; drop them as they
+    // surface so the top is always the next *runnable* event.
+    while (!heap_.empty() && *heap_.top().cancelled)
+        heap_.pop();
+}
+
 bool
 EventQueue::empty() const
 {
-    // Cancelled items may linger in the heap; treat them as absent.
-    auto copy = heap_;
-    while (!copy.empty()) {
-        if (!*copy.top().cancelled)
-            return false;
-        copy.pop();
-    }
-    return true;
+    pruneCancelledTop();
+    return heap_.empty();
 }
 
 void
 EventQueue::run(SimTime until)
 {
-    while (!heap_.empty() && heap_.top().time <= until) {
+    for (;;) {
+        // Judge the horizon against the next *runnable* event: a
+        // cancelled entry inside the window must not let step() fire
+        // a real event beyond it.
+        pruneCancelledTop();
+        if (heap_.empty() || heap_.top().time > until)
+            break;
         if (!step())
             break;
     }

@@ -59,7 +59,12 @@ class EventQueue
     /** True when no runnable events remain. */
     bool empty() const;
 
-    /** Run events until the queue drains or the clock passes until. */
+    /**
+     * Run events until the queue drains or the next runnable event
+     * lies beyond until. Cancelled entries are skipped when judging
+     * the horizon, so an event past until never fires just because a
+     * cancelled one preceded it inside the window.
+     */
     void run(SimTime until = 1e18);
 
     /** Execute exactly one event; returns false when none remain. */
@@ -86,10 +91,14 @@ class EventQueue
         }
     };
 
+    /** Pop cancelled entries off the top (logically a no-op, so it is
+     *  safe from const queries; avoids copying the heap to peek). */
+    void pruneCancelledTop() const;
+
     SimTime now_ = 0.0;
     uint64_t next_seq_ = 0;
     uint64_t events_run_ = 0;
-    std::priority_queue<Item, std::vector<Item>, Later> heap_;
+    mutable std::priority_queue<Item, std::vector<Item>, Later> heap_;
 };
 
 } // namespace quasar::sim

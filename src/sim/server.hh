@@ -12,6 +12,7 @@
 
 #include "common/types.hh"
 #include "interference/source.hh"
+#include "sim/change_journal.hh"
 #include "sim/platform.hh"
 
 namespace quasar::sim
@@ -73,6 +74,14 @@ class Server
      * only utilization reporting, never placement.
      */
     uint64_t version() const { return version_; }
+
+    /**
+     * Attach the cluster's change journal: every version bump is also
+     * logged there so index readers can find dirty servers in
+     * O(changes). The journal must outlive the server (the owning
+     * Cluster guarantees this).
+     */
+    void attachJournal(ChangeJournal *journal) { journal_ = journal; }
 
     /** @name Health */
     /// @{
@@ -181,7 +190,12 @@ class Server
     interference::IVector rawPressureExcluding(WorkloadId w) const;
 
     /** Note a placement-relevant mutation (see version()). */
-    void bumpVersion() { ++version_; }
+    void bumpVersion()
+    {
+        ++version_;
+        if (journal_)
+            journal_->note(id_);
+    }
 
     ServerId id_;
     Platform platform_;
@@ -189,6 +203,7 @@ class Server
     ServerState state_ = ServerState::Up;
     double speed_factor_ = 1.0;
     uint64_t version_ = 0;
+    ChangeJournal *journal_ = nullptr;
     std::vector<TaskShare> tasks_;
     interference::IVector injected_ = interference::zeroVector();
 };

@@ -1,7 +1,35 @@
 #include "tracegen/arrivals.hh"
 
+#include <limits>
+
 namespace quasar::tracegen
 {
+
+double
+PoissonArrivals::nextGap(stats::Rng &rng)
+{
+    if (rate_ <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return rng.exponential(rate_);
+}
+
+ParetoArrivals::ParetoArrivals(double mean_gap_s, double alpha)
+{
+    // Mean of Pareto(xm, alpha) is xm * alpha / (alpha - 1); invert
+    // for xm. Shapes <= 1 have no mean — clamp to a steep tail so the
+    // requested mean stays meaningful.
+    alpha_ = alpha > 1.05 ? alpha : 1.05;
+    double mean = mean_gap_s > 0.0 ? mean_gap_s : 0.0;
+    xm_ = mean * (alpha_ - 1.0) / alpha_;
+}
+
+double
+ParetoArrivals::nextGap(stats::Rng &rng)
+{
+    if (xm_ <= 0.0)
+        return 0.0; // degenerate: a simultaneous burst
+    return rng.pareto(xm_, alpha_);
+}
 
 std::vector<double>
 arrivalTimes(ArrivalProcess &process, size_t count, stats::Rng &rng,

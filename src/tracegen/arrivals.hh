@@ -2,7 +2,13 @@
  * @file
  * Workload arrival processes for scenario construction: fixed
  * inter-arrival gaps (the paper submits jobs with 1 s / 5 s / 10 s
- * spacing) and Poisson arrivals for open-loop experiments.
+ * spacing), Poisson arrivals for open-loop experiments, and
+ * heavy-tailed Pareto arrivals for bursty churn streams.
+ *
+ * Degenerate parameters are defined, not UB: a zero/negative-rate
+ * Poisson process never arrives again (infinite gap), a non-positive
+ * fixed gap collapses to a simultaneous burst (gap 0), and Pareto
+ * shapes <= 1 (infinite mean) are clamped to a finite-mean tail.
  */
 
 #ifndef QUASAR_TRACEGEN_ARRIVALS_HH
@@ -25,29 +31,59 @@ class ArrivalProcess
     virtual double nextGap(stats::Rng &rng) = 0;
 };
 
-/** Constant spacing. */
+/** Constant spacing (non-positive gaps become a burst at one time). */
 class FixedInterArrival : public ArrivalProcess
 {
   public:
-    explicit FixedInterArrival(double gap_s) : gap_(gap_s) {}
+    explicit FixedInterArrival(double gap_s)
+        : gap_(gap_s > 0.0 ? gap_s : 0.0)
+    {
+    }
     double nextGap(stats::Rng &) override { return gap_; }
 
   private:
     double gap_;
 };
 
-/** Exponential gaps with the given mean rate (arrivals/sec). */
+/**
+ * Exponential gaps with the given mean rate (arrivals/sec). A
+ * non-positive rate means the process is off: the gap is infinite
+ * (std::exponential_distribution with rate 0 would be UB).
+ */
 class PoissonArrivals : public ArrivalProcess
 {
   public:
     explicit PoissonArrivals(double rate_per_s) : rate_(rate_per_s) {}
-    double nextGap(stats::Rng &rng) override
-    {
-        return rng.exponential(rate_);
-    }
+    double nextGap(stats::Rng &rng) override;
 
   private:
     double rate_;
+};
+
+/**
+ * Heavy-tailed gaps: Pareto with the requested mean and tail shape
+ * alpha. Alpha must exceed 1 for the mean to exist; smaller shapes
+ * are clamped to a steep-but-finite tail. Models the bursty arrival
+ * trains of production traces (many back-to-back submissions, rare
+ * long lulls) that a Poisson stream smooths away.
+ */
+class ParetoArrivals : public ArrivalProcess
+{
+  public:
+    /**
+     * @param mean_gap_s mean seconds between arrivals (non-positive
+     *        collapses to a burst, like FixedInterArrival).
+     * @param alpha tail shape; clamped to > 1.
+     */
+    explicit ParetoArrivals(double mean_gap_s, double alpha = 1.5);
+    double nextGap(stats::Rng &rng) override;
+
+    double scale() const { return xm_; }
+    double shape() const { return alpha_; }
+
+  private:
+    double xm_;    ///< Pareto scale (minimum gap).
+    double alpha_; ///< Pareto tail shape.
 };
 
 /** Absolute arrival times for count workloads starting at start_s. */

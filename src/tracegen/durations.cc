@@ -1,0 +1,43 @@
+#include "tracegen/durations.hh"
+
+#include <cmath>
+
+namespace quasar::tracegen
+{
+
+double
+sampleDuration(const DurationSpec &spec, stats::Rng &rng)
+{
+    double mean = spec.mean_s > 0.0 ? spec.mean_s : 0.0;
+    switch (spec.kind) {
+    case DurationSpec::Kind::Fixed:
+        return mean;
+    case DurationSpec::Kind::Exponential:
+        if (mean <= 0.0)
+            return 0.0;
+        return rng.exponential(1.0 / mean);
+    case DurationSpec::Kind::Pareto: {
+        if (mean <= 0.0)
+            return 0.0;
+        // Mean of Pareto(xm, alpha) = xm * alpha / (alpha - 1);
+        // shapes <= 1 (no mean) clamp to a steep-but-finite tail.
+        double alpha = spec.shape > 1.05 ? spec.shape : 1.05;
+        double xm = mean * (alpha - 1.0) / alpha;
+        return rng.pareto(xm, alpha);
+    }
+    case DurationSpec::Kind::Lognormal: {
+        if (mean <= 0.0)
+            return 0.0;
+        double sigma = spec.shape;
+        if (sigma <= 0.0)
+            return mean; // zero spread: the fixed distribution
+        // exp(N(mu, sigma)) has mean exp(mu + sigma^2/2); pick mu so
+        // the sampled mean equals the requested one.
+        double mu = std::log(mean) - 0.5 * sigma * sigma;
+        return std::exp(rng.normal(mu, sigma));
+    }
+    }
+    return mean;
+}
+
+} // namespace quasar::tracegen

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Workload-lifetime samplers for churn populations: how long a
+ * service stays registered / an analytics or batch job would run
+ * before the churn engine retires it. Each class in a churn mix picks
+ * a distribution (fixed, exponential, Pareto, lognormal) parametrized
+ * by its mean, so heavy-tailed "mice and elephants" lifetimes are one
+ * spec away from memoryless ones.
+ *
+ * Degenerate parameters are defined, not UB: non-positive means yield
+ * zero-length lifetimes, shape parameters are clamped into ranges
+ * where the requested mean exists, and zero spread collapses to the
+ * fixed distribution.
+ */
+
+#ifndef QUASAR_TRACEGEN_DURATIONS_HH
+#define QUASAR_TRACEGEN_DURATIONS_HH
+
+#include "stats/rng.hh"
+
+namespace quasar::tracegen
+{
+
+/** Lifetime distribution of one churn class. */
+struct DurationSpec
+{
+    enum class Kind
+    {
+        Fixed,       ///< exactly mean_s.
+        Exponential, ///< memoryless with mean mean_s.
+        Pareto,      ///< heavy tail, mean mean_s, tail shape `shape`.
+        Lognormal,   ///< skewed, mean mean_s, log-space sigma `shape`.
+    };
+
+    Kind kind = Kind::Fixed;
+    /** Mean lifetime in seconds (non-positive: zero lifetime). */
+    double mean_s = 60.0;
+    /**
+     * Tail parameter: Pareto alpha (clamped > 1 so the mean exists)
+     * or lognormal sigma (non-positive collapses to Fixed). Ignored
+     * by Fixed and Exponential.
+     */
+    double shape = 1.5;
+
+    static DurationSpec fixed(double mean_s)
+    {
+        return {Kind::Fixed, mean_s, 0.0};
+    }
+    static DurationSpec exponential(double mean_s)
+    {
+        return {Kind::Exponential, mean_s, 0.0};
+    }
+    static DurationSpec pareto(double mean_s, double alpha = 1.5)
+    {
+        return {Kind::Pareto, mean_s, alpha};
+    }
+    static DurationSpec lognormal(double mean_s, double sigma = 1.0)
+    {
+        return {Kind::Lognormal, mean_s, sigma};
+    }
+};
+
+/** Draw one lifetime (seconds, >= 0) from the spec. */
+double sampleDuration(const DurationSpec &spec, stats::Rng &rng);
+
+} // namespace quasar::tracegen
+
+#endif // QUASAR_TRACEGEN_DURATIONS_HH

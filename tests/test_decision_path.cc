@@ -5,7 +5,11 @@
  * exact same placements as the legacy full-rescan path
  * (SchedulerConfig::full_rescan) — first at the scheduler level over a
  * many-seed sweep of perturbed clusters, then end-to-end through the
- * manager on a compact Fig. 6-style mixed scenario.
+ * manager on a compact Fig. 6-style mixed scenario, and finally under
+ * open-loop churn: a many-seed sweep of seeded arrival / departure /
+ * fault streams where all three decision paths (dirty-set journal
+ * index, per-call cached index, legacy full rescan) must finish in
+ * the same simulated state workload for workload.
  */
 
 #include <gtest/gtest.h>
@@ -14,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "churn/churn.hh"
 #include "core/classifier.hh"
 #include "core/manager.hh"
 #include "core/scheduler.hh"
@@ -301,4 +306,121 @@ TEST(DecisionPath, MixedScenarioIsBitIdenticalToFullRescan)
     EXPECT_EQ(inc.stats.server_failures, full.stats.server_failures);
     EXPECT_EQ(inc.stats.tasks_displaced, full.stats.tasks_displaced);
     EXPECT_EQ(inc.stats.recoveries, full.stats.recoveries);
+}
+
+namespace
+{
+
+/** Scheduler decision-path variants under test. */
+enum class Mode
+{
+    DirtySet,
+    Cached,
+    FullRescan,
+};
+
+/** Final simulated state of one churn run, for equality checks. */
+struct ChurnRun
+{
+    std::vector<double> work_done;
+    std::vector<bool> completed;
+    std::vector<bool> killed;
+    std::vector<std::vector<ServerId>> hosting;
+    size_t scheduled = 0;
+    size_t evictions = 0;
+    size_t server_failures = 0;
+    size_t recoveries = 0;
+};
+
+ChurnRun
+runChurnScenario(uint64_t seed, Mode mode)
+{
+    sim::Cluster cluster = sim::Cluster::localCluster();
+    workload::WorkloadRegistry registry;
+    core::QuasarConfig cfg;
+    cfg.seed = 7;
+    cfg.scheduler.dirty_set = mode == Mode::DirtySet;
+    cfg.scheduler.full_rescan = mode == Mode::FullRescan;
+    core::QuasarManager mgr(cluster, registry, cfg);
+    workload::WorkloadFactory seeder{stats::Rng(8)};
+    mgr.seedOffline(seeder, 12);
+
+    driver::ScenarioDriver drv(
+        cluster, registry, mgr,
+        driver::DriverConfig{.tick_s = 10.0, .record_every = 4});
+
+    churn::ChurnConfig ccfg;
+    ccfg.seed = seed;
+    ccfg.arrivals = churn::ArrivalKind::Pareto;
+    ccfg.arrival_rate_per_s = 0.15;
+    ccfg.horizon_s = 400.0;
+    ccfg.phase_change_fraction = 0.15;
+    // ~4 expected machine events over the horizon: every mode must
+    // track displacements and recoveries identically.
+    ccfg.server_mttf_s = 4000.0;
+    ccfg.server_mttr_s = 120.0;
+    ccfg.service_lifetime = tracegen::DurationSpec::lognormal(200.0, 0.7);
+    ccfg.analytics_lifetime = tracegen::DurationSpec::pareto(150.0, 1.8);
+    ccfg.batch_lifetime = tracegen::DurationSpec::exponential(120.0);
+    ccfg.best_effort_lifetime = tracegen::DurationSpec::exponential(80.0);
+    churn::ChurnEngine engine(ccfg);
+    engine.install(cluster, registry, drv);
+    drv.run(ccfg.horizon_s);
+
+    ChurnRun r;
+    for (const churn::ChurnItem &item : engine.plan()) {
+        const Workload &w = registry.get(item.id);
+        r.work_done.push_back(w.work_done);
+        r.completed.push_back(w.completed);
+        r.killed.push_back(w.killed);
+        r.hosting.push_back(cluster.serversHosting(item.id));
+    }
+    const core::QuasarStats &st = mgr.stats();
+    r.scheduled = st.scheduled;
+    r.evictions = st.evictions;
+    r.server_failures = st.server_failures;
+    r.recoveries = st.recoveries;
+    return r;
+}
+
+void
+expectSameChurnRun(const ChurnRun &a, const ChurnRun &b,
+                   const std::string &ctx)
+{
+    ASSERT_EQ(a.work_done.size(), b.work_done.size()) << ctx;
+    for (size_t i = 0; i < a.work_done.size(); ++i) {
+        std::string wctx = ctx + " workload " + std::to_string(i);
+        EXPECT_DOUBLE_EQ(a.work_done[i], b.work_done[i]) << wctx;
+        EXPECT_EQ(a.completed[i], b.completed[i]) << wctx;
+        EXPECT_EQ(a.killed[i], b.killed[i]) << wctx;
+        EXPECT_EQ(a.hosting[i], b.hosting[i]) << wctx;
+    }
+    EXPECT_EQ(a.scheduled, b.scheduled) << ctx;
+    EXPECT_EQ(a.evictions, b.evictions) << ctx;
+    EXPECT_EQ(a.server_failures, b.server_failures) << ctx;
+    EXPECT_EQ(a.recoveries, b.recoveries) << ctx;
+}
+
+} // namespace
+
+TEST(DecisionPath, ChurnSweepAllModesBitIdentical)
+{
+    constexpr uint64_t kSeeds = 20;
+    size_t total_failures = 0;
+    size_t total_kills = 0;
+    for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        ChurnRun full = runChurnScenario(seed, Mode::FullRescan);
+        ChurnRun dirty = runChurnScenario(seed, Mode::DirtySet);
+        ChurnRun cached = runChurnScenario(seed, Mode::Cached);
+        std::string ctx = "seed " + std::to_string(seed);
+        expectSameChurnRun(dirty, full, ctx + " dirty-vs-full");
+        expectSameChurnRun(cached, full, ctx + " cached-vs-full");
+        total_failures += full.server_failures;
+        for (bool k : full.killed)
+            total_kills += k ? 1 : 0;
+    }
+    // The sweep only proves something if churn actually happened:
+    // departures retired workloads and machines failed under load.
+    EXPECT_GT(total_kills, kSeeds);
+    EXPECT_GT(total_failures, 0u);
 }

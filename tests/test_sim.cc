@@ -76,6 +76,57 @@ TEST(EventQueue, EventsScheduleEvents)
     EXPECT_DOUBLE_EQ(q.now(), 4.0);
 }
 
+TEST(EventQueue, CancelledEventInsideWindowDoesNotBreachHorizon)
+{
+    // Regression: run(until) used to judge the horizon against the
+    // raw heap top. With a cancelled event inside the window ahead of
+    // a live event beyond it, step() would skip the cancelled entry
+    // and fire the out-of-window event.
+    EventQueue q;
+    int fired = 0;
+    EventHandle inside = q.schedule(1.0, [&] { ++fired; });
+    q.schedule(5.0, [&] { ++fired; });
+    inside.cancel();
+    q.run(2.0);
+    EXPECT_EQ(fired, 0);
+    EXPECT_DOUBLE_EQ(q.now(), 0.0); // clock never moved
+    q.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_DOUBLE_EQ(q.now(), 5.0);
+}
+
+TEST(EventQueue, FifoSurvivesInterleavedCancellationAtSameTime)
+{
+    // Identical-timestamp events must keep firing in insertion order
+    // even when some of the batch are cancelled between them.
+    EventQueue q;
+    std::vector<int> order;
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 8; ++i)
+        handles.push_back(
+            q.schedule(1.0, [&order, i] { order.push_back(i); }));
+    handles[0].cancel();
+    handles[3].cancel();
+    handles[7].cancel();
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 4, 5, 6}));
+    EXPECT_EQ(q.eventsRun(), 5u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EmptyPrunesWithoutDroppingLiveEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    EventHandle a = q.schedule(1.0, [&] { ++fired; });
+    q.schedule(2.0, [&] { ++fired; });
+    a.cancel();
+    EXPECT_FALSE(q.empty()); // prunes the cancelled top only
+    q.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(q.empty());
+}
+
 TEST(Platform, LocalCatalogMatchesTable1)
 {
     auto catalog = localPlatforms();

@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "stats/summary.hh"
 #include "tracegen/arrivals.hh"
+#include "tracegen/durations.hh"
 #include "tracegen/load_pattern.hh"
 
 using namespace quasar;
@@ -93,4 +96,156 @@ TEST(Arrivals, PoissonMeanGapMatchesRate)
     // Times are non-decreasing.
     for (size_t i = 1; i < times.size(); ++i)
         EXPECT_GE(times[i], times[i - 1]);
+}
+
+TEST(Arrivals, SeededStreamsAreDeterministic)
+{
+    for (uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+        PoissonArrivals a1(0.25), a2(0.25);
+        stats::Rng r1(seed), r2(seed);
+        EXPECT_EQ(arrivalTimes(a1, 200, r1), arrivalTimes(a2, 200, r2))
+            << "seed " << seed;
+        ParetoArrivals p1(4.0, 1.5), p2(4.0, 1.5);
+        stats::Rng r3(seed), r4(seed);
+        EXPECT_EQ(arrivalTimes(p1, 200, r3), arrivalTimes(p2, 200, r4))
+            << "seed " << seed;
+    }
+}
+
+TEST(Arrivals, ZeroRatePoissonNeverArrivesAgain)
+{
+    PoissonArrivals off(0.0);
+    PoissonArrivals negative(-1.0);
+    stats::Rng rng(3);
+    EXPECT_TRUE(std::isinf(off.nextGap(rng)));
+    EXPECT_TRUE(std::isinf(negative.nextGap(rng)));
+    // The first arrival still lands at the start time.
+    auto times = arrivalTimes(off, 3, rng, 7.0);
+    ASSERT_EQ(times.size(), 3u);
+    EXPECT_DOUBLE_EQ(times[0], 7.0);
+    EXPECT_TRUE(std::isinf(times[1]));
+}
+
+TEST(Arrivals, ParetoMeanAndTailMatchShape)
+{
+    const double mean = 2.0, alpha = 2.5;
+    ParetoArrivals arrivals(mean, alpha);
+    EXPECT_NEAR(arrivals.scale(), mean * (alpha - 1.0) / alpha, 1e-12);
+    stats::Rng rng(11);
+    stats::Samples gaps;
+    size_t above_3x = 0;
+    const size_t n = 60000;
+    for (size_t i = 0; i < n; ++i) {
+        double g = arrivals.nextGap(rng);
+        ASSERT_GE(g, arrivals.scale());
+        gaps.add(g);
+        if (g > 3.0 * mean)
+            ++above_3x;
+    }
+    EXPECT_NEAR(gaps.mean(), mean, 0.1);
+    // Tail matches the analytic Pareto survival function
+    // P[X > 3*mean] = (xm / 3*mean)^alpha, not the exponential's.
+    double expect_tail = std::pow(arrivals.scale() / (3.0 * mean), alpha);
+    EXPECT_NEAR(double(above_3x) / double(n), expect_tail,
+                0.3 * expect_tail);
+}
+
+TEST(Arrivals, ParetoDegenerateParamsAreSafe)
+{
+    stats::Rng rng(5);
+    // Non-positive mean: a simultaneous burst, never negative or NaN.
+    ParetoArrivals burst(0.0);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(burst.nextGap(rng), 0.0);
+    // Shape <= 1 (infinite mean) clamps to a finite-mean tail.
+    ParetoArrivals clamped(5.0, 0.5);
+    EXPECT_GT(clamped.shape(), 1.0);
+    for (int i = 0; i < 1000; ++i) {
+        double g = clamped.nextGap(rng);
+        EXPECT_TRUE(std::isfinite(g));
+        EXPECT_GT(g, 0.0);
+    }
+}
+
+TEST(Durations, SeededDeterminismAcrossKinds)
+{
+    const DurationSpec specs[] = {
+        DurationSpec::fixed(30.0),
+        DurationSpec::exponential(30.0),
+        DurationSpec::pareto(30.0, 2.0),
+        DurationSpec::lognormal(30.0, 0.8),
+    };
+    for (const DurationSpec &spec : specs) {
+        stats::Rng r1(99), r2(99);
+        for (int i = 0; i < 100; ++i)
+            EXPECT_DOUBLE_EQ(sampleDuration(spec, r1),
+                             sampleDuration(spec, r2));
+    }
+}
+
+TEST(Durations, EmpiricalMeansMatchSpec)
+{
+    const double mean = 45.0;
+    const DurationSpec specs[] = {
+        DurationSpec::fixed(mean),
+        DurationSpec::exponential(mean),
+        DurationSpec::pareto(mean, 2.5),
+        DurationSpec::lognormal(mean, 0.8),
+    };
+    for (const DurationSpec &spec : specs) {
+        stats::Rng rng(17);
+        stats::Samples s;
+        for (int i = 0; i < 60000; ++i) {
+            double d = sampleDuration(spec, rng);
+            ASSERT_GE(d, 0.0);
+            s.add(d);
+        }
+        EXPECT_NEAR(s.mean(), mean, 0.06 * mean)
+            << "kind " << int(spec.kind);
+    }
+}
+
+TEST(Durations, HeavyTailsAreHeavierThanExponential)
+{
+    // At matched means, Pareto and lognormal lifetimes should exceed
+    // 5x the mean far more often than the memoryless baseline.
+    const double mean = 20.0;
+    auto tailFrac = [&](const DurationSpec &spec) {
+        stats::Rng rng(23);
+        size_t above = 0;
+        const size_t n = 40000;
+        for (size_t i = 0; i < n; ++i)
+            if (sampleDuration(spec, rng) > 5.0 * mean)
+                ++above;
+        return double(above) / double(n);
+    };
+    double exp_tail = tailFrac(DurationSpec::exponential(mean));
+    double par_tail = tailFrac(DurationSpec::pareto(mean, 1.3));
+    double log_tail = tailFrac(DurationSpec::lognormal(mean, 1.5));
+    EXPECT_GT(par_tail, 2.0 * exp_tail);
+    EXPECT_GT(log_tail, 2.0 * exp_tail);
+}
+
+TEST(Durations, DegenerateParamsAreSafe)
+{
+    stats::Rng rng(31);
+    // Non-positive means: zero-length lifetimes for every kind.
+    for (auto kind :
+         {DurationSpec::Kind::Fixed, DurationSpec::Kind::Exponential,
+          DurationSpec::Kind::Pareto, DurationSpec::Kind::Lognormal}) {
+        DurationSpec spec{kind, 0.0, 1.5};
+        EXPECT_DOUBLE_EQ(sampleDuration(spec, rng), 0.0);
+        spec.mean_s = -4.0;
+        EXPECT_DOUBLE_EQ(sampleDuration(spec, rng), 0.0);
+    }
+    // Zero lognormal spread collapses to the fixed distribution.
+    DurationSpec flat = DurationSpec::lognormal(12.0, 0.0);
+    EXPECT_DOUBLE_EQ(sampleDuration(flat, rng), 12.0);
+    // Pareto shape below 1 still yields finite positive samples.
+    DurationSpec steep = DurationSpec::pareto(12.0, 0.2);
+    for (int i = 0; i < 1000; ++i) {
+        double d = sampleDuration(steep, rng);
+        EXPECT_TRUE(std::isfinite(d));
+        EXPECT_GT(d, 0.0);
+    }
 }
