@@ -6,8 +6,7 @@
  * rows/series the paper reports.
  */
 
-#ifndef QUASAR_BENCH_COMMON_HH
-#define QUASAR_BENCH_COMMON_HH
+#pragma once
 
 #include <algorithm>
 #include <cstdio>
@@ -114,4 +113,3 @@ sweepBestCompletion(const workload::Workload &w,
 
 } // namespace quasar::bench
 
-#endif // QUASAR_BENCH_COMMON_HH

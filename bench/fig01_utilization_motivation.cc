@@ -179,11 +179,12 @@ main()
         else
             ++over;
     }
-    size_t total = under + right + over;
+    double total = double(under + right + over);
     std::printf("under-sized (<0.9x): %5.1f%%   right-sized: %5.1f%%   "
                 "over-sized (>1.5x): %5.1f%%\n",
-                100.0 * under / total, 100.0 * right / total,
-                100.0 * over / total);
+                100.0 * double(under) / total,
+                100.0 * double(right) / total,
+                100.0 * double(over) / total);
     std::printf("%s", stats::formatCdfTable(ratios.values(),
                                             "reserved/used ratio")
                           .c_str());

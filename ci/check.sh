@@ -20,6 +20,18 @@
 #      more than 25% below the committed BENCH_churn.json baseline
 #      (refresh that file with `bench/churn` — no --smoke — when the
 #      improvement is intentional).
+#   5. Static analysis + verification soak:
+#      a. tools/quasar-lint over src/ bench/ tests/ examples/ tools/
+#         (determinism + hygiene rules, see DESIGN.md §10), after
+#         running its fixture self-test.
+#      b. clang-tidy with the repo .clang-tidy over src/ — gated on
+#         clang-tidy being installed (the reference image ships gcc
+#         only; the stage is skipped with a notice when absent).
+#      c. A -DQUASAR_VERIFY=ON -DQUASAR_WERROR=ON build running the
+#         chaos (test_faults) and churn-equivalence suites plus the
+#         verify counters tests: every dirty_set/cached decision is
+#         shadow-checked against full_rescan, every driver tick
+#         sweeps cluster invariants, and any warning is an error.
 #
 # Usage: ci/check.sh [jobs]   (defaults to nproc)
 set -euo pipefail
@@ -59,5 +71,30 @@ if [ -f BENCH_churn.json ]; then
 fi
 ./build-release/bench/churn --smoke --out=build-release/churn_smoke.json \
     "${CHURN_BASELINE_ARGS[@]}"
+
+echo "== lint: determinism + hygiene rules over the tree =="
+cmake --build build -j "$JOBS" --target quasar_lint
+./build/tools/quasar_lint --self-test --fixture=tools/quasar-lint/fixture
+./build/tools/quasar_lint src bench tests examples tools
+
+echo "== clang-tidy: curated .clang-tidy over src/ =="
+if command -v clang-tidy >/dev/null 2>&1; then
+    # The default tree already produces compile_commands.json.
+    find src -name '*.cc' -print0 |
+        xargs -0 -P "$JOBS" -n 8 clang-tidy -p build --quiet
+else
+    echo "clang-tidy not installed; skipping (config kept in .clang-tidy)"
+fi
+
+echo "== verify soak: QUASAR_VERIFY+QUASAR_WERROR chaos + churn suites =="
+cmake -B build-verify -S . -DQUASAR_VERIFY=ON -DQUASAR_WERROR=ON \
+      -DCMAKE_BUILD_TYPE=Debug >/dev/null
+cmake --build build-verify -j "$JOBS" --target quasar_tests
+# Chaos suite: every fault/recovery path with per-tick invariant
+# sweeps; churn equivalence: all three scheduler modes bit-identical
+# while the shadow oracle re-checks each incremental decision; the
+# Verify suite asserts the oracle actually ran.
+./build-verify/tests/quasar_tests \
+    --gtest_filter='FaultRecovery.*:FaultInjector.*:Chaos.*:ServerHealth.*:AdmissionRetry.*:DecisionPath.*:ChangeJournal.*:Verify.*'
 
 echo "== all checks passed =="

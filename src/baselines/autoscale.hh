@@ -10,8 +10,7 @@
  * are placed with the least-loaded policy.
  */
 
-#ifndef QUASAR_BASELINES_AUTOSCALE_HH
-#define QUASAR_BASELINES_AUTOSCALE_HH
+#pragma once
 
 #include <unordered_map>
 #include <vector>
@@ -76,4 +75,3 @@ class AutoScaleManager : public driver::ClusterManager
 
 } // namespace quasar::baselines
 
-#endif // QUASAR_BASELINES_AUTOSCALE_HH

@@ -7,8 +7,7 @@
  * behaviour the paper attributes to built-in framework schedulers.
  */
 
-#ifndef QUASAR_BASELINES_FRAMEWORK_SCHEDULER_HH
-#define QUASAR_BASELINES_FRAMEWORK_SCHEDULER_HH
+#pragma once
 
 #include <unordered_map>
 #include <vector>
@@ -60,4 +59,3 @@ class FrameworkSelfManager : public driver::ClusterManager
 
 } // namespace quasar::baselines
 
-#endif // QUASAR_BASELINES_FRAMEWORK_SCHEDULER_HH

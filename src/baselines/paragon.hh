@@ -9,8 +9,7 @@
  * the capability gap the paper attributes to assignment-only systems.
  */
 
-#ifndef QUASAR_BASELINES_PARAGON_HH
-#define QUASAR_BASELINES_PARAGON_HH
+#pragma once
 
 #include <unordered_map>
 #include <vector>
@@ -61,4 +60,3 @@ class ParagonManager : public driver::ClusterManager
 
 } // namespace quasar::baselines
 
-#endif // QUASAR_BASELINES_PARAGON_HH

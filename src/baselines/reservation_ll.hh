@@ -12,8 +12,7 @@
  * awareness, and never adapts at runtime.
  */
 
-#ifndef QUASAR_BASELINES_RESERVATION_LL_HH
-#define QUASAR_BASELINES_RESERVATION_LL_HH
+#pragma once
 
 #include <unordered_map>
 #include <vector>
@@ -96,4 +95,3 @@ class ReservationLLManager : public driver::ClusterManager
 
 } // namespace quasar::baselines
 
-#endif // QUASAR_BASELINES_RESERVATION_LL_HH

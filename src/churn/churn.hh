@@ -24,8 +24,7 @@
  * event and the benches compare sustained decision throughput.
  */
 
-#ifndef QUASAR_CHURN_CHURN_HH
-#define QUASAR_CHURN_CHURN_HH
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -170,4 +169,3 @@ class ChurnEngine
 
 } // namespace quasar::churn
 
-#endif // QUASAR_CHURN_CHURN_HH

@@ -3,8 +3,7 @@
  * Small shared identifiers used across modules.
  */
 
-#ifndef QUASAR_COMMON_TYPES_HH
-#define QUASAR_COMMON_TYPES_HH
+#pragma once
 
 #include <cstdint>
 
@@ -25,4 +24,3 @@ using SimTime = double;
 
 } // namespace quasar
 
-#endif // QUASAR_COMMON_TYPES_HH

@@ -11,8 +11,7 @@
  * retry again, up to a cap. Plain entries retry on every pass.
  */
 
-#ifndef QUASAR_CORE_ADMISSION_HH
-#define QUASAR_CORE_ADMISSION_HH
+#pragma once
 
 #include <limits>
 #include <vector>
@@ -96,4 +95,3 @@ class AdmissionQueue
 
 } // namespace quasar::core
 
-#endif // QUASAR_CORE_ADMISSION_HH

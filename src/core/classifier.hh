@@ -22,8 +22,7 @@
  * Table 2 / Fig. 3e ablation.
  */
 
-#ifndef QUASAR_CORE_CLASSIFIER_HH
-#define QUASAR_CORE_CLASSIFIER_HH
+#pragma once
 
 #include <array>
 #include <cstddef>
@@ -175,4 +174,3 @@ class Classifier
 
 } // namespace quasar::core
 
-#endif // QUASAR_CORE_CLASSIFIER_HH

@@ -6,8 +6,7 @@
  * speedup graphs, produced for every submission.
  */
 
-#ifndef QUASAR_CORE_ESTIMATE_HH
-#define QUASAR_CORE_ESTIMATE_HH
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -98,4 +97,3 @@ struct WorkloadEstimate
 
 } // namespace quasar::core
 
-#endif // QUASAR_CORE_ESTIMATE_HH

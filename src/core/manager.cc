@@ -157,7 +157,7 @@ QuasarManager::trySchedule(WorkloadId id, double t, bool requeue_on_fail)
     std::optional<Allocation> alloc;
     {
         stats::ScopedTimer timer(stats_.schedule_time);
-        if (cfg_.spread_zones_on_recovery && displaced_at_.count(id) &&
+        if (cfg_.spread_zones_on_recovery && displaced_at_.contains(id) &&
             workload::isLatencyCritical(w.type)) {
             SchedulerConfig spread_cfg = scheduler_.config();
             spread_cfg.spread_fault_zones = true;

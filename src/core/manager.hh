@@ -9,8 +9,7 @@
  * stateful services).
  */
 
-#ifndef QUASAR_CORE_MANAGER_HH
-#define QUASAR_CORE_MANAGER_HH
+#pragma once
 
 #include <unordered_map>
 
@@ -227,4 +226,3 @@ class QuasarManager : public driver::ClusterManager
 
 } // namespace quasar::core
 
-#endif // QUASAR_CORE_MANAGER_HH

@@ -11,8 +11,7 @@
  * workload's classified tolerance signals a phase change.
  */
 
-#ifndef QUASAR_CORE_MONITOR_HH
-#define QUASAR_CORE_MONITOR_HH
+#pragma once
 
 #include "core/estimate.hh"
 #include "profiling/profiler.hh"
@@ -84,4 +83,3 @@ class Monitor
 
 } // namespace quasar::core
 
-#endif // QUASAR_CORE_MONITOR_HH

@@ -8,8 +8,7 @@
  * the monitor notices the miss.
  */
 
-#ifndef QUASAR_CORE_PREDICTOR_HH
-#define QUASAR_CORE_PREDICTOR_HH
+#pragma once
 
 #include <cstddef>
 
@@ -56,4 +55,3 @@ class LoadPredictor
 
 } // namespace quasar::core
 
-#endif // QUASAR_CORE_PREDICTOR_HH

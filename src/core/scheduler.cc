@@ -8,6 +8,13 @@
 
 #include "stats/timing.hh"
 
+#ifdef QUASAR_VERIFY
+#include <cstdio>
+#include <cstdlib>
+
+#include "verify/verify.hh"
+#endif
+
 namespace quasar::core
 {
 
@@ -175,7 +182,60 @@ GreedyScheduler::refreshIndex() const
         }
     }
     journal_cursor_ = journal.end();
+#ifdef QUASAR_VERIFY
+    auditIndexCoherence();
+#endif
 }
+
+#ifdef QUASAR_VERIFY
+void
+GreedyScheduler::auditIndexCoherence() const
+{
+    // Sampled (every 64th refresh): the full recompute is O(N x
+    // ledger) and the refresh runs per decision, so auditing every
+    // call would dominate verify-build suites without adding much —
+    // a desynchronized entry stays desynchronized until its next
+    // legitimate refresh and is caught by a later sample or by the
+    // shadow oracle's divergence check.
+    static uint64_t refreshes = 0;
+    if (++refreshes % 64 != 0)
+        return;
+    for (size_t i = 0; i < cluster_.size(); ++i) {
+        const sim::Server &srv = cluster_.server(ServerId(i));
+        const ServerCacheEntry &cached = cache_[i];
+        if (cached.version != srv.version()) {
+            std::fprintf(stderr,
+                         "QUASAR_VERIFY: index entry for server %zu "
+                         "is stale after journal replay (entry epoch "
+                         "%llu, server epoch %llu) — a mutation was "
+                         "not journaled\n",
+                         i, (unsigned long long)cached.version,
+                         (unsigned long long)srv.version());
+            std::abort();
+        }
+        ServerCacheEntry fresh;
+        refreshEntry(srv, fresh);
+        if (fresh.contention != cached.contention ||
+            fresh.free_cores != cached.free_cores ||
+            fresh.free_mem != cached.free_mem ||
+            fresh.free_storage != cached.free_storage ||
+            fresh.speed != cached.speed ||
+            fresh.available != cached.available ||
+            fresh.be_cores != cached.be_cores ||
+            fresh.be_mem != cached.be_mem ||
+            fresh.be_storage != cached.be_storage ||
+            fresh.platform_idx != cached.platform_idx) {
+            std::fprintf(stderr,
+                         "QUASAR_VERIFY: index entry for server %zu "
+                         "matches the server's change epoch but not "
+                         "its state — a placement-relevant mutation "
+                         "skipped bumpVersion()\n",
+                         i);
+            std::abort();
+        }
+    }
+}
+#endif
 
 bool
 GreedyScheduler::evictable(const sim::TaskShare &victim,
@@ -381,6 +441,28 @@ GreedyScheduler::allocate(const Workload &w, const WorkloadEstimate &est,
                           double required_perf,
                           const EstimateLookup &estimates,
                           bool may_evict) const
+{
+    std::optional<Allocation> decision =
+        allocateImpl(w, est, required_perf, estimates, may_evict);
+#ifdef QUASAR_VERIFY
+    // Shadow scheduler oracle: every incremental-mode decision is
+    // re-derived through the legacy full_rescan path; any divergence
+    // aborts. full_rescan decisions are the oracle, so they are never
+    // shadowed (also what makes this non-recursive).
+    if (!cfg_.full_rescan)
+        verify::shadowCheckAllocation(cluster_, cfg_, registry_, w,
+                                      est, required_perf, estimates,
+                                      may_evict, decision);
+#endif
+    return decision;
+}
+
+std::optional<Allocation>
+GreedyScheduler::allocateImpl(const Workload &w,
+                              const WorkloadEstimate &est,
+                              double required_perf,
+                              const EstimateLookup &estimates,
+                              bool may_evict) const
 {
     assert(est.scale_up_grid.size() == est.scale_up_perf.size());
     const double target = std::max(required_perf, 1e-9) * cfg_.headroom;

@@ -39,8 +39,7 @@
  *    validation.
  */
 
-#ifndef QUASAR_CORE_SCHEDULER_HH
-#define QUASAR_CORE_SCHEDULER_HH
+#pragma once
 
 #include <functional>
 #include <optional>
@@ -241,6 +240,23 @@ class GreedyScheduler
      */
     void refreshIndex() const;
 
+    /** The greedy walk itself (allocate() wraps it so the verify
+     *  build can shadow-check each decision on the way out). */
+    std::optional<Allocation>
+    allocateImpl(const workload::Workload &w,
+                 const WorkloadEstimate &est, double required_perf,
+                 const EstimateLookup &estimates, bool may_evict) const;
+
+#ifdef QUASAR_VERIFY
+    /**
+     * Sampled audit (verify builds only): recompute every server's
+     * index entry from scratch and abort unless the journal-replayed
+     * index matches field-for-field — catches mutators that touch
+     * placement-relevant state without bumping the change epoch.
+     */
+    void auditIndexCoherence() const;
+#endif
+
     /** Rebuild the platform-name→index map from the catalog. */
     void rebuildPlatformIndex() const;
 
@@ -293,4 +309,3 @@ class GreedyScheduler
 
 } // namespace quasar::core
 
-#endif // QUASAR_CORE_SCHEDULER_HH

@@ -19,8 +19,7 @@
  *    and false positives are filtered by the probe.
  */
 
-#ifndef QUASAR_CORE_STRAGGLER_HH
-#define QUASAR_CORE_STRAGGLER_HH
+#pragma once
 
 #include <vector>
 
@@ -100,4 +99,3 @@ DetectionResult detectQuasar(const TaskWave &wave,
 
 } // namespace quasar::core
 
-#endif // QUASAR_CORE_STRAGGLER_HH

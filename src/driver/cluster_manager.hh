@@ -6,8 +6,7 @@
  * these hooks as simulated time advances.
  */
 
-#ifndef QUASAR_DRIVER_CLUSTER_MANAGER_HH
-#define QUASAR_DRIVER_CLUSTER_MANAGER_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -63,4 +62,3 @@ class ClusterManager
 
 } // namespace quasar::driver
 
-#endif // QUASAR_DRIVER_CLUSTER_MANAGER_HH

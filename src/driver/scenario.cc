@@ -6,6 +6,10 @@
 
 #include "workload/queueing.hh"
 
+#ifdef QUASAR_VERIFY
+#include "verify/verify.hh"
+#endif
+
 namespace quasar::driver
 {
 
@@ -223,6 +227,12 @@ ScenarioDriver::tick()
     manager_.onTick(t);
     if (tick_hook_)
         tick_hook_(t);
+
+#ifdef QUASAR_VERIFY
+    // Verify builds: full cluster invariant sweep each tick, so every
+    // driver-based test doubles as an accounting/journal soak.
+    verify::sweepCluster(cluster_, &registry_);
+#endif
 
     // 5. Next tick.
     if (t + cfg_.tick_s <= run_until_)

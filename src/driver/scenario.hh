@@ -9,8 +9,7 @@
  * figures.
  */
 
-#ifndef QUASAR_DRIVER_SCENARIO_HH
-#define QUASAR_DRIVER_SCENARIO_HH
+#pragma once
 
 #include <functional>
 #include <map>
@@ -174,4 +173,3 @@ class ScenarioDriver : public sim::FaultListener
 
 } // namespace quasar::driver
 
-#endif // QUASAR_DRIVER_SCENARIO_HH

@@ -7,8 +7,7 @@
  * the workload's performance drops below the QoS threshold.
  */
 
-#ifndef QUASAR_INTERFERENCE_MICROBENCH_HH
-#define QUASAR_INTERFERENCE_MICROBENCH_HH
+#pragma once
 
 #include <functional>
 
@@ -46,4 +45,3 @@ double probeToleratedIntensity(
 
 } // namespace quasar::interference
 
-#endif // QUASAR_INTERFERENCE_MICROBENCH_HH

@@ -11,8 +11,7 @@
  * underlying ground-truth threshold/slope model.
  */
 
-#ifndef QUASAR_INTERFERENCE_PROFILE_HH
-#define QUASAR_INTERFERENCE_PROFILE_HH
+#pragma once
 
 #include "interference/source.hh"
 
@@ -58,4 +57,3 @@ struct SensitivityProfile
 
 } // namespace quasar::interference
 
-#endif // QUASAR_INTERFERENCE_PROFILE_HH

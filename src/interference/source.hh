@@ -9,8 +9,7 @@
  * fully saturated by co-runners.
  */
 
-#ifndef QUASAR_INTERFERENCE_SOURCE_HH
-#define QUASAR_INTERFERENCE_SOURCE_HH
+#pragma once
 
 #include <array>
 #include <cstddef>
@@ -55,4 +54,3 @@ Source sourceAt(size_t i);
 
 } // namespace quasar::interference
 
-#endif // QUASAR_INTERFERENCE_SOURCE_HH

@@ -7,8 +7,7 @@
  * estimated).
  */
 
-#ifndef QUASAR_LINALG_COMPLETION_HH
-#define QUASAR_LINALG_COMPLETION_HH
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -53,4 +52,3 @@ class MatrixCompletion
 
 } // namespace quasar::linalg
 
-#endif // QUASAR_LINALG_COMPLETION_HH

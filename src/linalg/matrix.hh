@@ -8,8 +8,7 @@
  * row).
  */
 
-#ifndef QUASAR_LINALG_MATRIX_HH
-#define QUASAR_LINALG_MATRIX_HH
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -98,4 +97,3 @@ class MaskedMatrix
 
 } // namespace quasar::linalg
 
-#endif // QUASAR_LINALG_MATRIX_HH

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <random>
 
+#include "stats/rng.hh"
+
 #include "linalg/svd.hh"
 
 namespace quasar::linalg
@@ -94,13 +96,13 @@ PqModel::fit(const MaskedMatrix &a)
         return;
     }
 
-    std::mt19937_64 rng(cfg_.seed);
+    stats::Rng rng(cfg_.seed);
     double eta = cfg_.learning_rate;
     const double lambda = cfg_.regularization;
     double prev_rmse = std::numeric_limits<double>::infinity();
 
     for (epochs_run_ = 0; epochs_run_ < cfg_.max_epochs; ++epochs_run_) {
-        std::shuffle(entries.begin(), entries.end(), rng);
+        std::shuffle(entries.begin(), entries.end(), rng.engine());
         double sq = 0.0;
         bool diverged = false;
         for (const Entry &e : entries) {
@@ -133,10 +135,10 @@ PqModel::fit(const MaskedMatrix &a)
             std::normal_distribution<double> g(0.0, 0.01);
             for (size_t r = 0; r < rows_; ++r)
                 for (size_t f = 0; f < k; ++f)
-                    q_.at(r, f) = g(rng);
+                    q_.at(r, f) = g(rng.engine());
             for (size_t c = 0; c < cols_; ++c)
                 for (size_t f = 0; f < k; ++f)
-                    p_.at(c, f) = g(rng);
+                    p_.at(c, f) = g(rng.engine());
             std::fill(row_bias_.begin(), row_bias_.end(), 0.0);
             std::fill(col_bias_.begin(), col_bias_.end(), 0.0);
             eta *= 0.3;

@@ -13,8 +13,7 @@
  * becomes marginal.
  */
 
-#ifndef QUASAR_LINALG_PQ_MODEL_HH
-#define QUASAR_LINALG_PQ_MODEL_HH
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -91,4 +90,3 @@ class PqModel
 
 } // namespace quasar::linalg
 
-#endif // QUASAR_LINALG_PQ_MODEL_HH

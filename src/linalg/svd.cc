@@ -6,6 +6,8 @@
 #include <numeric>
 #include <random>
 
+#include "stats/rng.hh"
+
 namespace quasar::linalg
 {
 
@@ -165,12 +167,12 @@ randomizedSvd(const Matrix &a, size_t rank, size_t power_iters,
     assert(k > 0);
 
     // Gaussian sketch omega (n x k), y = a * omega.
-    std::mt19937_64 rng(seed);
+    stats::Rng rng(seed);
     std::normal_distribution<double> gauss(0.0, 1.0);
     Matrix omega(n, k);
     for (size_t i = 0; i < n; ++i)
         for (size_t j = 0; j < k; ++j)
-            omega.at(i, j) = gauss(rng);
+            omega.at(i, j) = gauss(rng.engine());
 
     Matrix y = a.multiply(omega);
     orthonormalize(y);

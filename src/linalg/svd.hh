@@ -9,8 +9,7 @@
  * (hundreds of workloads x tens-to-hundreds of configurations).
  */
 
-#ifndef QUASAR_LINALG_SVD_HH
-#define QUASAR_LINALG_SVD_HH
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -64,4 +63,3 @@ SvdResult randomizedSvd(const Matrix &a, size_t rank,
 
 } // namespace quasar::linalg
 
-#endif // QUASAR_LINALG_SVD_HH

@@ -20,8 +20,7 @@
  * workloads and for validation.
  */
 
-#ifndef QUASAR_PROFILING_PROFILER_HH
-#define QUASAR_PROFILING_PROFILER_HH
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -179,4 +178,3 @@ class Profiler
 
 } // namespace quasar::profiling
 
-#endif // QUASAR_PROFILING_PROFILER_HH

@@ -23,8 +23,7 @@
  * of reading stale state.
  */
 
-#ifndef QUASAR_SIM_CHANGE_JOURNAL_HH
-#define QUASAR_SIM_CHANGE_JOURNAL_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -78,4 +77,3 @@ class ChangeJournal
 
 } // namespace quasar::sim
 
-#endif // QUASAR_SIM_CHANGE_JOURNAL_HH

@@ -5,8 +5,7 @@
  * two testbeds (40-server local cluster, 200-server EC2 cluster).
  */
 
-#ifndef QUASAR_SIM_CLUSTER_HH
-#define QUASAR_SIM_CLUSTER_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -109,4 +108,3 @@ class Cluster
 
 } // namespace quasar::sim
 
-#endif // QUASAR_SIM_CLUSTER_HH

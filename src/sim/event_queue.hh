@@ -6,8 +6,7 @@
  * deterministic.
  */
 
-#ifndef QUASAR_SIM_EVENT_QUEUE_HH
-#define QUASAR_SIM_EVENT_QUEUE_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -103,4 +102,3 @@ class EventQueue
 
 } // namespace quasar::sim
 
-#endif // QUASAR_SIM_EVENT_QUEUE_HH

@@ -15,8 +15,7 @@
  * bit-identical for a fixed seed.
  */
 
-#ifndef QUASAR_SIM_FAILURE_HH
-#define QUASAR_SIM_FAILURE_HH
+#pragma once
 
 #include <vector>
 
@@ -146,4 +145,3 @@ class FaultInjector
 
 } // namespace quasar::sim
 
-#endif // QUASAR_SIM_FAILURE_HH

@@ -8,8 +8,7 @@
  * the paper's 200-server experiment.
  */
 
-#ifndef QUASAR_SIM_PLATFORM_HH
-#define QUASAR_SIM_PLATFORM_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -58,4 +57,3 @@ size_t highestEndPlatform(const std::vector<Platform> &catalog);
 
 } // namespace quasar::sim
 
-#endif // QUASAR_SIM_PLATFORM_HH

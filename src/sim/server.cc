@@ -134,6 +134,11 @@ Server::resize(WorkloadId w, int cores, double memory_gb)
     }
     t->cores = cores;
     t->memory_gb = memory_gb;
+    // A shrink caps what the task can physically consume; the stale
+    // measurement from before the resize must not report usage above
+    // the new limit (the next monitoring tick re-measures anyway).
+    if (t->cores_used > double(cores))
+        t->cores_used = double(cores);
     return true;
 }
 

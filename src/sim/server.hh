@@ -5,8 +5,7 @@
  * interference vectors workloads experience.
  */
 
-#ifndef QUASAR_SIM_SERVER_HH
-#define QUASAR_SIM_SERVER_HH
+#pragma once
 
 #include <vector>
 
@@ -210,4 +209,3 @@ class Server
 
 } // namespace quasar::sim
 
-#endif // QUASAR_SIM_SERVER_HH

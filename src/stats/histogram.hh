@@ -5,8 +5,7 @@
  * latency CDFs) as text rows.
  */
 
-#ifndef QUASAR_STATS_HISTOGRAM_HH
-#define QUASAR_STATS_HISTOGRAM_HH
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -50,4 +49,3 @@ std::string formatCdfTable(const std::vector<double> &values,
 
 } // namespace quasar::stats
 
-#endif // QUASAR_STATS_HISTOGRAM_HH

@@ -8,8 +8,7 @@
  * global entropy.
  */
 
-#ifndef QUASAR_STATS_RNG_HH
-#define QUASAR_STATS_RNG_HH
+#pragma once
 
 #include <cstdint>
 #include <random>
@@ -69,4 +68,3 @@ class Rng
 
 } // namespace quasar::stats
 
-#endif // QUASAR_STATS_RNG_HH

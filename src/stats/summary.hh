@@ -5,8 +5,7 @@
  * classification-validation experiments (paper Table 2).
  */
 
-#ifndef QUASAR_STATS_SUMMARY_HH
-#define QUASAR_STATS_SUMMARY_HH
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -94,4 +93,3 @@ std::string formatErrorReport(const ErrorReport &r);
 
 } // namespace quasar::stats
 
-#endif // QUASAR_STATS_SUMMARY_HH

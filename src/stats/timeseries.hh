@@ -5,8 +5,7 @@
  * and the allocated-vs-used curves of Fig. 11d.
  */
 
-#ifndef QUASAR_STATS_TIMESERIES_HH
-#define QUASAR_STATS_TIMESERIES_HH
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -75,4 +74,3 @@ class UtilizationGrid
 
 } // namespace quasar::stats
 
-#endif // QUASAR_STATS_TIMESERIES_HH

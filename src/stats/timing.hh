@@ -11,8 +11,7 @@
  * stats) and be read at any time.
  */
 
-#ifndef QUASAR_STATS_TIMING_HH
-#define QUASAR_STATS_TIMING_HH
+#pragma once
 
 #include <chrono>
 #include <cstdint>
@@ -72,4 +71,3 @@ class ScopedTimer
 
 } // namespace quasar::stats
 
-#endif // QUASAR_STATS_TIMING_HH

@@ -11,8 +11,7 @@
  * shapes <= 1 (infinite mean) are clamped to a finite-mean tail.
  */
 
-#ifndef QUASAR_TRACEGEN_ARRIVALS_HH
-#define QUASAR_TRACEGEN_ARRIVALS_HH
+#pragma once
 
 #include <vector>
 
@@ -92,4 +91,3 @@ std::vector<double> arrivalTimes(ArrivalProcess &process, size_t count,
 
 } // namespace quasar::tracegen
 
-#endif // QUASAR_TRACEGEN_ARRIVALS_HH

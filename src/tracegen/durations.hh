@@ -13,8 +13,7 @@
  * fixed distribution.
  */
 
-#ifndef QUASAR_TRACEGEN_DURATIONS_HH
-#define QUASAR_TRACEGEN_DURATIONS_HH
+#pragma once
 
 #include "stats/rng.hh"
 
@@ -65,4 +64,3 @@ double sampleDuration(const DurationSpec &spec, stats::Rng &rng);
 
 } // namespace quasar::tracegen
 
-#endif // QUASAR_TRACEGEN_DURATIONS_HH

@@ -5,8 +5,7 @@
  * Figs. 8 and 9.
  */
 
-#ifndef QUASAR_TRACEGEN_LOAD_PATTERN_HH
-#define QUASAR_TRACEGEN_LOAD_PATTERN_HH
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -123,4 +122,3 @@ using LoadPatternPtr = std::shared_ptr<const LoadPattern>;
 
 } // namespace quasar::tracegen
 
-#endif // QUASAR_TRACEGEN_LOAD_PATTERN_HH

@@ -10,8 +10,7 @@
  * submitted.
  */
 
-#ifndef QUASAR_TRACEGEN_RESERVATION_MODEL_HH
-#define QUASAR_TRACEGEN_RESERVATION_MODEL_HH
+#pragma once
 
 #include "stats/rng.hh"
 
@@ -52,4 +51,3 @@ class ReservationModel
 
 } // namespace quasar::tracegen
 
-#endif // QUASAR_TRACEGEN_RESERVATION_MODEL_HH

@@ -12,8 +12,7 @@
  * exploits.
  */
 
-#ifndef QUASAR_WORKLOAD_FACTORY_HH
-#define QUASAR_WORKLOAD_FACTORY_HH
+#pragma once
 
 #include <string>
 
@@ -104,4 +103,3 @@ class WorkloadFactory
 
 } // namespace quasar::workload
 
-#endif // QUASAR_WORKLOAD_FACTORY_HH

@@ -10,8 +10,7 @@
  * requests meeting QoS — the metric of the paper's Figs. 8e and 9.
  */
 
-#ifndef QUASAR_WORKLOAD_QUEUEING_HH
-#define QUASAR_WORKLOAD_QUEUEING_HH
+#pragma once
 
 namespace quasar::workload
 {
@@ -51,4 +50,3 @@ double servedQps(double offered_qps, double capacity_qps);
 
 } // namespace quasar::workload
 
-#endif // QUASAR_WORKLOAD_QUEUEING_HH

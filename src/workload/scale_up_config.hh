@@ -10,8 +10,7 @@
  * workload type by scaleUpGrid().
  */
 
-#ifndef QUASAR_WORKLOAD_SCALE_UP_CONFIG_HH
-#define QUASAR_WORKLOAD_SCALE_UP_CONFIG_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -90,4 +89,3 @@ std::vector<int> scaleOutGrid(int max_nodes = 100);
 
 } // namespace quasar::workload
 
-#endif // QUASAR_WORKLOAD_SCALE_UP_CONFIG_HH

@@ -23,8 +23,7 @@
  * on real Hadoop and memcached deployments.
  */
 
-#ifndef QUASAR_WORKLOAD_TRUTH_HH
-#define QUASAR_WORKLOAD_TRUTH_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -124,4 +123,3 @@ double amdahlSpeedup(double serial_fraction, double effective_cores);
 
 } // namespace quasar::workload
 
-#endif // QUASAR_WORKLOAD_TRUTH_HH

@@ -12,8 +12,7 @@
  * monitoring.
  */
 
-#ifndef QUASAR_WORKLOAD_WORKLOAD_HH
-#define QUASAR_WORKLOAD_WORKLOAD_HH
+#pragma once
 
 #include <memory>
 #include <string>
@@ -197,4 +196,3 @@ class PerfOracle
 
 } // namespace quasar::workload
 
-#endif // QUASAR_WORKLOAD_WORKLOAD_HH

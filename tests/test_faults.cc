@@ -557,8 +557,9 @@ checkClusterInvariants(const sim::Cluster &cluster,
     for (size_t s = 0; s < cluster.size(); ++s) {
         const sim::Server &srv = cluster.server(ServerId(s));
         ASSERT_TRUE(srv.checkInvariants()) << "server " << s;
-        if (!srv.available())
+        if (!srv.available()) {
             ASSERT_TRUE(srv.tasks().empty()) << "share on dead " << s;
+        }
         for (const sim::TaskShare &share : srv.tasks()) {
             // No leaked shares: every share belongs to a live,
             // uncompleted workload known to the registry.

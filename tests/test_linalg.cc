@@ -11,6 +11,8 @@
 #include <cmath>
 #include <random>
 
+#include "stats/rng.hh"
+
 #include "linalg/completion.hh"
 #include "linalg/matrix.hh"
 #include "linalg/pq_model.hh"
@@ -25,20 +27,20 @@ namespace
 Matrix
 lowRank(size_t m, size_t n, size_t k, uint64_t seed, double noise = 0.0)
 {
-    std::mt19937_64 rng(seed);
+    quasar::stats::Rng rng(seed);
     std::normal_distribution<double> g(0.0, 1.0);
     Matrix a(m, k), b(k, n);
     for (size_t i = 0; i < m; ++i)
         for (size_t f = 0; f < k; ++f)
-            a.at(i, f) = g(rng);
+            a.at(i, f) = g(rng.engine());
     for (size_t f = 0; f < k; ++f)
         for (size_t j = 0; j < n; ++j)
-            b.at(f, j) = g(rng);
+            b.at(f, j) = g(rng.engine());
     Matrix out = a.multiply(b);
     if (noise > 0.0)
         for (size_t i = 0; i < m; ++i)
             for (size_t j = 0; j < n; ++j)
-                out.at(i, j) += noise * g(rng);
+                out.at(i, j) += noise * g(rng.engine());
     return out;
 }
 
@@ -206,11 +208,11 @@ TEST(PqModel, CompletesLowRankMatrix)
     // missing entries well.
     Matrix truth = lowRank(30, 20, 3, 11);
     MaskedMatrix obs(30, 20);
-    std::mt19937_64 rng(12);
+    quasar::stats::Rng rng(12);
     std::bernoulli_distribution keep(0.4);
     for (size_t i = 0; i < 30; ++i)
         for (size_t j = 0; j < 20; ++j)
-            if (keep(rng))
+            if (keep(rng.engine()))
                 obs.set(i, j, truth.at(i, j));
 
     PqConfig cfg;
@@ -276,18 +278,19 @@ TEST(Completion, PreservesObservedEntries)
 {
     Matrix truth = lowRank(10, 8, 2, 31);
     MaskedMatrix obs(10, 8);
-    std::mt19937_64 rng(32);
+    quasar::stats::Rng rng(32);
     std::bernoulli_distribution keep(0.5);
     for (size_t i = 0; i < 10; ++i)
         for (size_t j = 0; j < 8; ++j)
-            if (keep(rng))
+            if (keep(rng.engine()))
                 obs.set(i, j, truth.at(i, j));
     MatrixCompletion comp;
     Matrix full = comp.complete(obs);
     for (size_t i = 0; i < 10; ++i)
         for (size_t j = 0; j < 8; ++j)
-            if (obs.observed(i, j))
+            if (obs.observed(i, j)) {
                 EXPECT_DOUBLE_EQ(full.at(i, j), obs.value(i, j));
+            }
 }
 
 TEST(Completion, RowCompletionAgainstDenseHistory)
@@ -319,11 +322,11 @@ TEST_P(CompletionDensity, ErrorShrinksWithDensity)
     double density = GetParam();
     Matrix truth = lowRank(40, 25, 3, 51);
     MaskedMatrix obs(40, 25);
-    std::mt19937_64 rng(52);
+    quasar::stats::Rng rng(52);
     std::bernoulli_distribution keep(density);
     for (size_t i = 0; i < 40; ++i)
         for (size_t j = 0; j < 25; ++j)
-            if (keep(rng))
+            if (keep(rng.engine()))
                 obs.set(i, j, truth.at(i, j));
     PqConfig cfg;
     cfg.rank = 6;

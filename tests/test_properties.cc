@@ -94,9 +94,10 @@ TEST_P(SeedSweep, QueueingMonotonicity)
         prev_frac = frac;
     }
     double knee = workload::maxQpsWithinQos(cap, qos);
-    if (knee > 0.0)
+    if (knee > 0.0) {
         EXPECT_LE(workload::percentileLatency(knee * 0.999, cap),
                   qos + 1e-9);
+    }
 }
 
 TEST_P(SeedSweep, ProfilerSamplesAreWellFormed)
@@ -200,11 +201,13 @@ TEST_P(SeedSweep, SchedulerFeasibilityInvariants)
                   node.cores);
     }
     const Workload &placed = w.registry.get(id);
-    if (placed.cost_cap_per_hour > 0.0)
+    if (placed.cost_cap_per_hour > 0.0) {
         EXPECT_LE(cost, placed.cost_cap_per_hour + 1e-9);
+    }
     // Single-node workloads never get more than one server.
-    if (!workload::isDistributed(placed.type))
+    if (!workload::isDistributed(placed.type)) {
         EXPECT_EQ(alloc->nodes.size(), 1u);
+    }
 }
 
 TEST_P(SeedSweep, ClassifierOutputRanges)

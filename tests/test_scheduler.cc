@@ -363,8 +363,9 @@ TEST(Scheduler, ScaleOutFirstAblationSpreadsThin)
     ASSERT_TRUE(out.has_value());
     // Scale-out-first uses more, smaller nodes.
     EXPECT_GE(out->nodes.size(), up->nodes.size());
-    if (!out->nodes.empty() && !up->nodes.empty())
+    if (!out->nodes.empty() && !up->nodes.empty()) {
         EXPECT_LE(out->nodes[0].cores, up->nodes[0].cores);
+    }
 }
 
 TEST(Scheduler, KnobsConsistentAcrossNodes)

@@ -389,8 +389,9 @@ TEST(PerfOracle, ServiceCapacityAndQoS)
     double cap = world.oracle.serviceCapacityQps(live, 0.0);
     EXPECT_GT(cap, 0.0);
     double p99 = world.oracle.serviceP99(live, 0.0);
-    if (1e5 < cap)
+    if (1e5 < cap) {
         EXPECT_LT(p99, kSaturatedLatency);
+    }
     // Normalized perf for services is capacity-within-QoS over
     // offered load: above 1 means headroom.
     double norm = world.oracle.normalizedPerformance(live, 0.0);

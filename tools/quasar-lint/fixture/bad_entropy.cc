@@ -1,0 +1,55 @@
+// Deliberate violations of the entropy/clock rules. This file is the
+// linter's self-test fixture: it is never compiled, and per-line
+// expectation markers declare exactly which findings the linter must
+// produce. quasar-lint's normal tree scan skips everything under
+// fixture/.
+
+#include <chrono>
+#include <random>
+
+uint64_t
+badSeedSources()
+{
+    std::random_device rd;                          // expect(unseeded-rng)
+    srand(42);                                      // expect(unseeded-rng)
+    int r = rand();                                 // expect(unseeded-rng)
+    std::mt19937_64 gen(uint64_t(r) + rd());        // expect(raw-mt19937)
+    std::mt19937 gen32(7);                          // expect(raw-mt19937)
+    auto wall = std::chrono::system_clock::now();   // expect(wallclock)
+    uint64_t t = uint64_t(time(nullptr));           // expect(wallclock)
+    long c = clock();                               // expect(wallclock)
+    return uint64_t(gen() + gen32()) + t + uint64_t(c) +
+           uint64_t(wall.time_since_epoch().count());
+}
+
+// Strings and comments never trip the token rules: "std::rand()",
+// "random_device", "system_clock", time() and mt19937 in prose are fine.
+const char *kDoc = "never call rand() or read system_clock directly";
+
+// Member / non-std-qualified calls named `time` or `clock` are not the
+// libc functions and must not fire. (The *declarations* below are
+// indistinguishable from calls at token level — a known limitation —
+// so they carry suppressions.)
+struct Sim
+{
+    double time() const { return 0.0; }  // quasar-lint: allow(wallclock)
+    double clock() const { return 1.0; } // quasar-lint: allow(wallclock)
+};
+double
+okMemberCalls(const Sim &sim, Sim *p)
+{
+    return sim.time() + p->clock() + Sim{}.time();
+}
+
+// A genuinely-deterministic use can be suppressed, with justification.
+uint64_t
+okSuppressed()
+{
+    // Fixture only: proves same-line suppression silences the rule.
+    std::mt19937_64 gen(1234); // quasar-lint: allow(raw-mt19937)
+    // Fixture only: proves a standalone suppression comment covers the
+    // following line.
+    // quasar-lint: allow(wallclock)
+    uint64_t t = uint64_t(time(nullptr));
+    return gen() + t;
+}

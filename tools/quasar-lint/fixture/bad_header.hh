@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Deliberate header-hygiene violations for the linter self-test: the
+ * first non-comment line is an include guard instead of #pragma once,
+ * and two includes break path hygiene. Never compiled.
+ */
+
+#ifndef QUASAR_LINT_FIXTURE_BAD_HEADER_HH // expect(pragma-once)
+#define QUASAR_LINT_FIXTURE_BAD_HEADER_HH
+
+#include "../sim/server.hh"   // expect(include-hygiene)
+#include "/abs/path/types.hh" // expect(include-hygiene)
+
+struct FixtureOnly
+{
+    int x = 0;
+};
+
+#endif // QUASAR_LINT_FIXTURE_BAD_HEADER_HH

@@ -1,0 +1,57 @@
+// Deliberate violations of the decision-path rules (this fixture file
+// lives under fixture/decision/, which the linter treats like
+// src/core, src/baselines, and src/churn). Never compiled.
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+double
+badUnorderedIteration()
+{
+    std::unordered_map<std::string, double> scores;
+    std::unordered_set<int> dirty;
+    double total = 0.0;
+    for (const auto &kv : scores)                    // expect(unordered-iter)
+        total += kv.second;
+    for (int id : dirty)                             // expect(unordered-iter)
+        total += double(id);
+    return total;
+}
+
+bool
+badFloatEquality(double perf, double quality)
+{
+    if (perf == 0.0)                                 // expect(float-eq)
+        return false;
+    bool same = quality != 1.0;                      // expect(float-eq)
+    return same;
+}
+
+// Lookup (no iteration) of unordered containers is fine: hash order
+// never surfaces.
+double
+okUnorderedLookup(const std::unordered_map<std::string, double> &m)
+{
+    auto it = m.find("web");
+    return it == m.end() ? 0.0 : it->second;
+}
+
+// Integer compares and compares between two variables are out of this
+// rule's scope (bit-identical replay compares are legal and load-bearing
+// in the scheduler's ranking comparator).
+bool
+okCompares(int cores, int want, double a, double b)
+{
+    return cores == want && a != b;
+}
+
+// Suppressions carry the burden of proof in a comment.
+bool
+okSuppressed(double progress)
+{
+    // Sentinel compare: progress is assigned exactly -1.0, never
+    // computed, so exact equality is the correct test.
+    return progress == -1.0; // quasar-lint: allow(float-eq)
+}

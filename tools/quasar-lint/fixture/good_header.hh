@@ -1,0 +1,23 @@
+/**
+ * @file
+ * A compliant header: #pragma once first, root-relative quoted
+ * includes, system includes in angle brackets. The self-test requires
+ * zero findings here — it guards against rules that over-fire.
+ */
+
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "sim/server.hh"
+
+/** Steady-clock timing types are sanctioned (only system_clock and
+ *  time()/clock() calls are wall-clock reads). */
+using FixtureClock = std::chrono::steady_clock;
+
+struct FixtureGood
+{
+    std::string name;
+    FixtureClock::duration budget{};
+};
