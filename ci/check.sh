@@ -20,7 +20,14 @@
 #      more than 25% below the committed BENCH_churn.json baseline
 #      (refresh that file with `bench/churn` — no --smoke — when the
 #      improvement is intentional).
-#   5. Static analysis + verification soak:
+#   5. Run the trace-replay smoke (Release): both checked-in trace
+#      fixtures (Google task-events, Azure vmtable) parsed, mapped,
+#      and replayed through all three scheduler modes plus a
+#      re-replay. Fails on any placement-hash divergence between
+#      modes, on an unstable re-replay, or if either parser's
+#      diagnostic counts drift from the fixtures' known malformed-row
+#      counts (9 google / 7 azure — see tools/gen_trace_fixtures.py).
+#   6. Static analysis + verification soak:
 #      a. tools/quasar-lint over src/ bench/ tests/ examples/ tools/
 #         (determinism + hygiene rules, see DESIGN.md §10), after
 #         running its fixture self-test.
@@ -72,6 +79,11 @@ fi
 ./build-release/bench/churn --smoke --out=build-release/churn_smoke.json \
     "${CHURN_BASELINE_ARGS[@]}"
 
+echo "== trace-replay smoke: fixture ingest + mode equivalence =="
+cmake --build build-release -j "$JOBS" --target trace_replay
+./build-release/bench/trace_replay --smoke \
+    --out=build-release/trace_replay_smoke.json
+
 echo "== lint: determinism + hygiene rules over the tree =="
 cmake --build build -j "$JOBS" --target quasar_lint
 ./build/tools/quasar_lint --self-test --fixture=tools/quasar-lint/fixture
@@ -93,8 +105,11 @@ cmake --build build-verify -j "$JOBS" --target quasar_tests
 # Chaos suite: every fault/recovery path with per-tick invariant
 # sweeps; churn equivalence: all three scheduler modes bit-identical
 # while the shadow oracle re-checks each incremental decision; the
-# Verify suite asserts the oracle actually ran.
+# Verify suite asserts the oracle actually ran; the Trace* and
+# HostingIndex suites replay the fixtures under the oracle so every
+# replayed placement and the maintained hosting index are
+# shadow-checked tick by tick.
 ./build-verify/tests/quasar_tests \
-    --gtest_filter='FaultRecovery.*:FaultInjector.*:Chaos.*:ServerHealth.*:AdmissionRetry.*:DecisionPath.*:ChangeJournal.*:Verify.*'
+    --gtest_filter='FaultRecovery.*:FaultInjector.*:Chaos.*:ServerHealth.*:AdmissionRetry.*:DecisionPath.*:ChangeJournal.*:Verify.*:Trace*.*:ChurnClosedLoop.*:HostingIndex.*'
 
 echo "== all checks passed =="

@@ -73,12 +73,12 @@ lifetimeSpec(const ChurnConfig &cfg, ChurnClass cls)
 } // namespace
 
 Workload
-ChurnEngine::makeWorkload(ChurnClass cls, size_t idx,
-                          workload::WorkloadFactory &factory,
-                          const sim::Cluster &cluster) const
+makeChurnWorkload(ChurnClass cls, size_t idx,
+                  workload::WorkloadFactory &factory,
+                  const sim::Cluster &cluster, const char *name_prefix)
 {
     auto &rng = factory.rng();
-    std::string name = "churn-" + std::to_string(idx);
+    std::string name = name_prefix + std::to_string(idx);
     switch (cls) {
     case ChurnClass::SingleNode: {
         static const char *families[] = {
@@ -133,77 +133,118 @@ ChurnEngine::makeWorkload(ChurnClass cls, size_t idx,
 }
 
 void
+ChurnEngine::emitArrival(double t)
+{
+    ChurnClass cls = drawClass(cfg_.mix, factory_->rng());
+    Workload w =
+        makeChurnWorkload(cls, next_idx_, *factory_, *cluster_);
+
+    ChurnItem item;
+    item.cls = cls;
+    item.arrival_s = t;
+
+    double life = tracegen::sampleDuration(lifetimeSpec(cfg_, cls),
+                                           *lifetimes_);
+    if (life > 0.0 && t + life < cfg_.horizon_s) {
+        item.depart_s = t + life;
+        ++counts_.departures_planned;
+    }
+
+    if (phases_->chance(cfg_.phase_change_fraction)) {
+        // Morph mid-life (or mid-horizon for stayers).
+        double end =
+            item.depart_s > 0.0 ? item.depart_s : cfg_.horizon_s;
+        factory_->addPhaseChange(w, t + 0.5 * (end - t));
+        item.phase_change = true;
+        ++counts_.phase_changes;
+    }
+
+    item.id = registry_->add(std::move(w));
+    driver_->addArrival(item.id, t);
+    if (item.depart_s > 0.0) {
+        driver::ScenarioDriver &driver = *driver_;
+        WorkloadId id = item.id;
+        double at = item.depart_s;
+        driver.events().schedule(at, [&driver, id, at]() {
+            driver.killWorkload(id, at);
+        });
+    }
+
+    plan_.push_back(item);
+    ++counts_.arrivals;
+    ++next_idx_;
+}
+
+void
+ChurnEngine::closedLoopStep()
+{
+    double t = driver_->events().now();
+    // Backpressure: a saturated admission queue makes the would-be
+    // tenant walk away (a deferral), not queue up. Pacing continues
+    // regardless, so the probe is consulted exactly once per instant
+    // and the stream stays deterministic for a deterministic manager.
+    if (depth_probe_ && depth_probe_() >= cfg_.closed_loop_target)
+        ++deferrals_;
+    else
+        emitArrival(t);
+
+    double gap = process_->nextGap(*pacing_);
+    if (!std::isfinite(gap))
+        return; // zero-rate process: the stream is over
+    double next = t + gap;
+    if (next < cfg_.horizon_s)
+        driver_->events().schedule(next,
+                                   [this]() { closedLoopStep(); });
+}
+
+void
 ChurnEngine::install(sim::Cluster &cluster,
                      workload::WorkloadRegistry &registry,
                      driver::ScenarioDriver &driver)
 {
-    assert(plan_.empty() && "install() must be called once");
+    assert(plan_.empty() && !factory_ &&
+           "install() must be called once");
+    cluster_ = &cluster;
+    registry_ = &registry;
+    driver_ = &driver;
 
     // Independent streams so a different mix draw never perturbs the
     // arrival clock (and vice versa): pacing, population, and
     // lifetimes each consume their own fork of the master seed.
     stats::Rng master(cfg_.seed);
-    stats::Rng pacing = master.fork();
-    workload::WorkloadFactory factory{master.fork()};
-    stats::Rng lifetimes = master.fork();
-    stats::Rng phases = master.fork();
+    pacing_ = std::make_unique<stats::Rng>(master.fork());
+    factory_ =
+        std::make_unique<workload::WorkloadFactory>(master.fork());
+    lifetimes_ = std::make_unique<stats::Rng>(master.fork());
+    phases_ = std::make_unique<stats::Rng>(master.fork());
 
-    std::unique_ptr<tracegen::ArrivalProcess> process;
     if (cfg_.arrivals == ArrivalKind::Pareto)
-        process = std::make_unique<tracegen::ParetoArrivals>(
+        process_ = std::make_unique<tracegen::ParetoArrivals>(
             cfg_.arrival_rate_per_s > 0.0
                 ? 1.0 / cfg_.arrival_rate_per_s
                 : 0.0,
             cfg_.pareto_alpha);
     else
-        process = std::make_unique<tracegen::PoissonArrivals>(
+        process_ = std::make_unique<tracegen::PoissonArrivals>(
             cfg_.arrival_rate_per_s);
 
-    double t = cfg_.start_s;
-    size_t idx = 0;
-    while (t < cfg_.horizon_s) {
-        ChurnClass cls = drawClass(cfg_.mix, factory.rng());
-        Workload w = makeWorkload(cls, idx, factory, cluster);
-
-        ChurnItem item;
-        item.cls = cls;
-        item.arrival_s = t;
-
-        double life =
-            tracegen::sampleDuration(lifetimeSpec(cfg_, cls),
-                                     lifetimes);
-        if (life > 0.0 && t + life < cfg_.horizon_s) {
-            item.depart_s = t + life;
-            ++counts_.departures_planned;
+    if (cfg_.closed_loop) {
+        // Lazy generation: each pacing instant draws its arrival (or
+        // defers) with simulation-time knowledge of the probed depth.
+        if (cfg_.start_s < cfg_.horizon_s)
+            driver.events().schedule(cfg_.start_s,
+                                     [this]() { closedLoopStep(); });
+    } else {
+        // Open loop: the whole plan is generated here, before the
+        // run, and never consults simulation state.
+        double t = cfg_.start_s;
+        while (t < cfg_.horizon_s) {
+            emitArrival(t);
+            double gap = process_->nextGap(*pacing_);
+            if (!std::isfinite(gap))
+                break; // zero-rate process: the stream is over
+            t += gap;
         }
-
-        if (phases.chance(cfg_.phase_change_fraction)) {
-            // Morph mid-life (or mid-horizon for stayers).
-            double end =
-                item.depart_s > 0.0 ? item.depart_s : cfg_.horizon_s;
-            factory.addPhaseChange(w, t + 0.5 * (end - t));
-            item.phase_change = true;
-            ++counts_.phase_changes;
-        }
-
-        item.id = registry.add(std::move(w));
-        driver.addArrival(item.id, t);
-        if (item.depart_s > 0.0) {
-            WorkloadId id = item.id;
-            double at = item.depart_s;
-            driver.events().schedule(at, [&driver, id, at]() {
-                driver.killWorkload(id, at);
-            });
-        }
-
-        plan_.push_back(item);
-        ++counts_.arrivals;
-        ++idx;
-
-        double gap = process->nextGap(pacing);
-        if (!std::isfinite(gap))
-            break; // zero-rate process: the stream is over
-        t += gap;
     }
 
     if (cfg_.server_mttf_s > 0.0) {

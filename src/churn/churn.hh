@@ -13,21 +13,34 @@
  * workloads (open-loop departures), optional mid-life phase changes,
  * and optional stochastic server faults riding the same stream.
  *
- * Open- vs closed-loop: the stream is OPEN-loop — the entire plan is
- * generated ahead of time from the config's seed and never consults
- * simulation state, so arrivals do not wait for completions and an
- * overloaded manager faces a growing admission queue instead of a
- * conveniently throttled trace. That is also the replay contract:
- * identical (config, seed) produces the identical event stream no
- * matter which scheduler mode or manager runs underneath, which is
- * what lets the equivalence sweeps compare decision paths event for
- * event and the benches compare sustained decision throughput.
+ * Open- vs closed-loop: by default the stream is OPEN-loop — the
+ * entire plan is generated ahead of time from the config's seed and
+ * never consults simulation state, so arrivals do not wait for
+ * completions and an overloaded manager faces a growing admission
+ * queue instead of a conveniently throttled trace. That is also the
+ * replay contract: identical (config, seed) produces the identical
+ * event stream no matter which scheduler mode or manager runs
+ * underneath, which is what lets the equivalence sweeps compare
+ * decision paths event for event and the benches compare sustained
+ * decision throughput.
+ *
+ * The CLOSED-loop variant (cfg.closed_loop) models tenants that back
+ * off when the cluster is saturated: each pacing instant consults a
+ * depth probe (typically the manager's admission-queue size) and
+ * skips the arrival while depth >= closed_loop_target, counting it as
+ * a deferral. Generation is lazy — each arrival is drawn at its
+ * pacing instant from the same forked RNG streams — so the stream is
+ * still a pure function of (config, seed, manager behavior): the same
+ * manager under the same seed replays the identical stream.
  */
 
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
+
+#include "tracegen/arrivals.hh"
 
 #include "driver/scenario.hh"
 #include "sim/cluster.hh"
@@ -89,6 +102,14 @@ struct ChurnConfig
     /** Fraction of arrivals that morph mid-life (phase change). */
     double phase_change_fraction = 0.08;
 
+    /** @name Closed-loop pacing (see file comment) */
+    /// @{
+    /** Condition arrivals on the depth probe instead of open-loop. */
+    bool closed_loop = false;
+    /** Defer arrivals while the probed depth is >= this. */
+    size_t closed_loop_target = 64;
+    /// @}
+
     /** @name Stochastic machine faults (0 mttf disables) */
     /// @{
     double server_mttf_s = 0.0; ///< mean time to failure per server.
@@ -126,6 +147,18 @@ struct ChurnCounts
 };
 
 /**
+ * Draw one workload of the given class from the factory catalogs —
+ * the population model shared by the churn engine and the trace
+ * replayer (src/trace/). Within-class parameters (family, dataset
+ * size, QPS, ...) come from the factory's RNG stream, so callers that
+ * draw in a fixed order get a deterministic population.
+ */
+workload::Workload makeChurnWorkload(ChurnClass cls, size_t idx,
+                                     workload::WorkloadFactory &factory,
+                                     const sim::Cluster &cluster,
+                                     const char *name_prefix = "churn-");
+
+/**
  * Generates one churn stream and schedules it onto a scenario driver.
  * Build, call install() once, then run the driver; the engine must
  * outlive the run (it owns the armed fault injector).
@@ -147,24 +180,57 @@ class ChurnEngine
                  workload::WorkloadRegistry &registry,
                  driver::ScenarioDriver &driver);
 
-    /** The generated plan, in arrival order. */
+    /**
+     * Closed-loop depth source, consulted once per pacing instant
+     * (e.g. [&m] { return m.admission().size(); }). Set before
+     * install(); without a probe the closed loop never defers and
+     * degenerates to open-loop pacing.
+     */
+    void setDepthProbe(std::function<size_t()> probe)
+    {
+        depth_probe_ = std::move(probe);
+    }
+
+    /**
+     * The generated plan, in arrival order. Open-loop: complete after
+     * install(). Closed-loop: grows as the run generates lazily.
+     */
     const std::vector<ChurnItem> &plan() const { return plan_; }
 
     const ChurnCounts &counts() const { return counts_; }
+
+    /** Arrivals skipped by closed-loop backpressure so far. */
+    size_t deferrals() const { return deferrals_; }
 
     /** The armed fault injector; null when faults are disabled. */
     const sim::FaultInjector *faults() const { return faults_.get(); }
 
   private:
-    /** Draw one workload of the given class. */
-    workload::Workload makeWorkload(ChurnClass cls, size_t idx,
-                                    workload::WorkloadFactory &factory,
-                                    const sim::Cluster &cluster) const;
+    /** Draw + register + schedule one arrival at time t. */
+    void emitArrival(double t);
+    /** One closed-loop pacing instant: maybe emit, then re-arm. */
+    void closedLoopStep();
 
     ChurnConfig cfg_;
     std::vector<ChurnItem> plan_;
     ChurnCounts counts_;
     std::unique_ptr<sim::FaultInjector> faults_;
+
+    /** @name Generation state (lazy generation keeps them live) */
+    /// @{
+    sim::Cluster *cluster_ = nullptr;
+    workload::WorkloadRegistry *registry_ = nullptr;
+    driver::ScenarioDriver *driver_ = nullptr;
+    std::unique_ptr<stats::Rng> pacing_;
+    std::unique_ptr<stats::Rng> lifetimes_;
+    std::unique_ptr<stats::Rng> phases_;
+    std::unique_ptr<workload::WorkloadFactory> factory_;
+    std::unique_ptr<tracegen::ArrivalProcess> process_;
+    /// @}
+
+    std::function<size_t()> depth_probe_;
+    size_t deferrals_ = 0;
+    size_t next_idx_ = 0;
 };
 
 } // namespace quasar::churn

@@ -196,11 +196,13 @@ ScenarioDriver::tick()
             norm_perf_[id].add(oracle_.normalizedPerformance(w, t));
     }
 
-    // 2. Refresh measured usage on every server for utilization
-    // accounting.
-    for (size_t s = 0; s < cluster_.size(); ++s) {
-        sim::Server &srv = cluster_.server(ServerId(s));
-        // Copy ids first: setUsage mutates shares in place only.
+    // 2. Refresh measured usage for utilization accounting. Only busy
+    // servers can have usage to refresh; idle machines cost nothing
+    // here even at 10k-server scale.
+    for (ServerId sid : cluster_.busyServers()) {
+        sim::Server &srv = cluster_.server(sid);
+        // setUsage mutates shares in place only (membership, and with
+        // it the busy set being iterated, never changes here).
         for (const sim::TaskShare &share : srv.tasks()) {
             const Workload &w = registry_.get(share.workload);
             srv.setUsage(share.workload,

@@ -24,6 +24,17 @@ PqModel::fit(const MaskedMatrix &a)
     row_bias_.assign(rows_, 0.0);
     col_bias_.assign(cols_, 0.0);
 
+    // A history can legally be empty at the first classify call (no
+    // offline seeding, no online rows yet). Keep the flat mu+bias
+    // model rather than asking the SVD for a rank-0 sketch of an
+    // empty matrix; fold-in then predicts mu_ + col_bias_, exactly
+    // what the full path degenerates to with nothing observed.
+    if (rows_ == 0 || cols_ == 0 || a.numObserved() == 0) {
+        q_ = Matrix(rows_, k);
+        p_ = Matrix(cols_, k);
+        return;
+    }
+
     // Initialize biases from shrunk column and row means so the
     // population's average response shape lives in the biases and the
     // latent factors only carry per-row deviation. Without this, a

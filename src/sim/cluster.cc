@@ -28,8 +28,13 @@ Cluster::Cluster(const std::vector<Platform> &catalog,
     // incrementally instead of falling back to a full scan.
     journal_ = std::make_unique<ChangeJournal>(
         std::max<size_t>(4096, 8 * servers_.size()));
-    for (auto &srv : servers_)
+    // Both live behind stable pointers so moving the Cluster does not
+    // invalidate the servers' attachments.
+    hosting_ = std::make_unique<HostingIndex>();
+    for (auto &srv : servers_) {
         srv->attachJournal(journal_.get());
+        srv->attachMembership(hosting_.get());
+    }
 }
 
 Cluster
@@ -66,11 +71,7 @@ Cluster::serversOfPlatform(const std::string &name) const
 std::vector<ServerId>
 Cluster::serversHosting(WorkloadId w) const
 {
-    std::vector<ServerId> out;
-    for (size_t i = 0; i < servers_.size(); ++i)
-        if (servers_[i]->hosts(w))
-            out.push_back(ServerId(i));
-    return out;
+    return hosting_->serversOf(w);
 }
 
 size_t
@@ -126,9 +127,11 @@ Cluster::downServers() const
 size_t
 Cluster::removeEverywhere(WorkloadId w)
 {
+    // Copy: each remove() edits the index entry we are walking.
+    std::vector<ServerId> hosting = hosting_->serversOf(w);
     size_t n = 0;
-    for (auto &s : servers_)
-        if (s->remove(w))
+    for (ServerId sid : hosting)
+        if (servers_[sid]->remove(w))
             ++n;
     return n;
 }

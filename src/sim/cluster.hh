@@ -13,6 +13,7 @@
 
 #include "common/types.hh"
 #include "sim/change_journal.hh"
+#include "sim/hosting_index.hh"
 #include "sim/platform.hh"
 #include "sim/server.hh"
 
@@ -62,8 +63,25 @@ class Cluster
     /** Indices of servers with the given platform name. */
     std::vector<ServerId> serversOfPlatform(const std::string &name) const;
 
-    /** The server currently hosting w on each machine it occupies. */
+    /**
+     * The servers currently hosting w, ascending. Answered from the
+     * incrementally-maintained hosting index — O(log active
+     * workloads), not an O(servers) scan.
+     */
     std::vector<ServerId> serversHosting(WorkloadId w) const;
+
+    /**
+     * Servers with at least one resident task, ascending. The driver
+     * tick sweeps this instead of every machine, so a mostly-idle
+     * 10k-server cluster ticks at the cost of its busy subset.
+     */
+    const std::vector<ServerId> &busyServers() const
+    {
+        return hosting_->busyServers();
+    }
+
+    /** The maintained reverse index (verify sweeps cross-check it). */
+    const HostingIndex &hostingIndex() const { return *hosting_; }
 
     /** @name Alive capacity (fault tolerance) */
     /// @{
@@ -99,6 +117,7 @@ class Cluster
   private:
     std::vector<Platform> catalog_;
     std::unique_ptr<ChangeJournal> journal_;
+    std::unique_ptr<HostingIndex> hosting_;
     std::vector<std::unique_ptr<Server>> servers_;
     int num_fault_zones_ = 1;
     int total_cores_ = 0;

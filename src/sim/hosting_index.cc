@@ -1,0 +1,56 @@
+#include "sim/hosting_index.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace quasar::sim
+{
+
+void
+HostingIndex::taskPlaced(ServerId sid, WorkloadId w)
+{
+    // Sorted insertion keeps the list in the ascending order the old
+    // full scan produced (a server hosts a workload at most once).
+    std::vector<ServerId> &servers = hosting_[w];
+    auto it = std::lower_bound(servers.begin(), servers.end(), sid);
+    assert(it == servers.end() || *it != sid);
+    servers.insert(it, sid);
+
+    if (task_counts_.size() <= size_t(sid))
+        task_counts_.resize(size_t(sid) + 1, 0);
+    if (task_counts_[size_t(sid)]++ == 0) {
+        auto bit = std::lower_bound(busy_.begin(), busy_.end(), sid);
+        busy_.insert(bit, sid);
+    }
+}
+
+void
+HostingIndex::taskRemoved(ServerId sid, WorkloadId w)
+{
+    auto hit = hosting_.find(w);
+    assert(hit != hosting_.end());
+    std::vector<ServerId> &servers = hit->second;
+    auto it = std::lower_bound(servers.begin(), servers.end(), sid);
+    assert(it != servers.end() && *it == sid);
+    servers.erase(it);
+    if (servers.empty())
+        hosting_.erase(hit);
+
+    assert(size_t(sid) < task_counts_.size() &&
+           task_counts_[size_t(sid)] > 0);
+    if (--task_counts_[size_t(sid)] == 0) {
+        auto bit = std::lower_bound(busy_.begin(), busy_.end(), sid);
+        assert(bit != busy_.end() && *bit == sid);
+        busy_.erase(bit);
+    }
+}
+
+const std::vector<ServerId> &
+HostingIndex::serversOf(WorkloadId w) const
+{
+    static const std::vector<ServerId> kEmpty;
+    auto it = hosting_.find(w);
+    return it == hosting_.end() ? kEmpty : it->second;
+}
+
+} // namespace quasar::sim

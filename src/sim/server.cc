@@ -30,6 +30,9 @@ Server::markDown()
     speed_factor_ = 1.0;
     displaced.swap(tasks_);
     injected_ = interference::zeroVector();
+    if (membership_)
+        for (const TaskShare &t : displaced)
+            membership_->taskRemoved(id_, t.workload);
     return displaced;
 }
 
@@ -94,6 +97,8 @@ Server::place(const TaskShare &share)
     assert(canFit(share.cores, share.memory_gb, share.storage_gb));
     bumpVersion();
     tasks_.push_back(share);
+    if (membership_)
+        membership_->taskPlaced(id_, share.workload);
 }
 
 bool
@@ -107,6 +112,8 @@ Server::remove(WorkloadId w)
         return false;
     bumpVersion();
     tasks_.erase(it);
+    if (membership_)
+        membership_->taskRemoved(id_, w);
     return true;
 }
 

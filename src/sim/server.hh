@@ -30,6 +30,21 @@ enum class ServerState
     Down,
 };
 
+/**
+ * Observer of task-membership changes (which workloads live on which
+ * servers). place()/remove()/markDown() are the only membership
+ * mutators, so a listener attached to every server sees the complete
+ * edit stream — the Cluster's HostingIndex uses it to answer
+ * serversHosting() in O(log n) instead of an O(servers) scan.
+ */
+class MembershipListener
+{
+  public:
+    virtual ~MembershipListener() = default;
+    virtual void taskPlaced(ServerId sid, WorkloadId w) = 0;
+    virtual void taskRemoved(ServerId sid, WorkloadId w) = 0;
+};
+
 /** Resources granted to one workload on one server. */
 struct TaskShare
 {
@@ -81,6 +96,16 @@ class Server
      * Cluster guarantees this).
      */
     void attachJournal(ChangeJournal *journal) { journal_ = journal; }
+
+    /**
+     * Attach a task-membership observer (see MembershipListener). The
+     * listener must outlive the server (the owning Cluster holds its
+     * index behind a stable pointer, like the journal).
+     */
+    void attachMembership(MembershipListener *listener)
+    {
+        membership_ = listener;
+    }
 
     /** @name Health */
     /// @{
@@ -203,6 +228,7 @@ class Server
     double speed_factor_ = 1.0;
     uint64_t version_ = 0;
     ChangeJournal *journal_ = nullptr;
+    MembershipListener *membership_ = nullptr;
     std::vector<TaskShare> tasks_;
     interference::IVector injected_ = interference::zeroVector();
 };

@@ -1,0 +1,194 @@
+#include "trace/azure.hh"
+
+#include <algorithm>
+
+namespace quasar::trace
+{
+
+namespace
+{
+
+constexpr size_t kFields = 6;
+constexpr double kMaxCores = 1024.0;
+constexpr double kMaxMemoryGb = 16384.0;
+
+void
+reject(TraceStream &out, const ParseOptions &opt, size_t line,
+       std::string reason)
+{
+    ++out.rows_rejected;
+    if (out.diagnostics.size() < opt.max_diagnostics)
+        out.diagnostics.push_back({line, std::move(reason)});
+}
+
+/** Case-insensitive ASCII compare against a lowercase literal. */
+bool
+equalsLower(std::string_view field, std::string_view lower)
+{
+    if (field.size() != lower.size())
+        return false;
+    for (size_t i = 0; i < field.size(); ++i) {
+        char c = field[i];
+        if (c >= 'A' && c <= 'Z')
+            c = char(c - 'A' + 'a');
+        if (c != lower[i])
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+TraceStream
+parseAzureVm(LineSource &lines, const ParseOptions &opt)
+{
+    TraceStream out;
+    out.format = "azure-vm";
+
+    std::string line;
+    std::string_view f[kFields];
+    size_t lineno = 0;
+    double max_cores = 0.0, max_mem = 0.0;
+    while (lines.next(line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        // Optional header row.
+        if (lineno == 1 && line.rfind("vmid", 0) == 0)
+            continue;
+        ++out.rows_total;
+
+        size_t n = splitFields(line, ',', f, kFields);
+        if (n != kFields) {
+            reject(out, opt, lineno,
+                   "expected 6 fields, got " + std::to_string(n));
+            continue;
+        }
+
+        if (f[0].empty()) {
+            reject(out, opt, lineno, "empty vm id");
+            continue;
+        }
+        uint64_t vm = 0;
+        if (!parseU64(f[0], vm))
+            vm = fnv1a(f[0].data(), f[0].size());
+
+        double created = 0.0;
+        if (!parseF64(f[1], created)) {
+            reject(out, opt, lineno, "create time not a number");
+            continue;
+        }
+        if (created < 0.0) {
+            reject(out, opt, lineno, "negative create time");
+            continue;
+        }
+
+        bool has_delete = false;
+        double deleted = -1.0;
+        if (!f[2].empty()) {
+            if (!parseF64(f[2], deleted)) {
+                reject(out, opt, lineno, "delete time not a number");
+                continue;
+            }
+            if (deleted >= 0.0) {
+                if (deleted < created) {
+                    reject(out, opt, lineno,
+                           "delete time precedes create time");
+                    continue;
+                }
+                has_delete = true;
+            }
+        }
+
+        double cores = 0.0, mem = 0.0;
+        if (!parseF64(f[4], cores)) {
+            reject(out, opt, lineno, "core bucket not a number");
+            continue;
+        }
+        if (cores <= 0.0 || cores > kMaxCores) {
+            reject(out, opt, lineno, "core bucket out of range (0, 1024]");
+            continue;
+        }
+        if (!parseF64(f[5], mem)) {
+            reject(out, opt, lineno, "memory bucket not a number");
+            continue;
+        }
+        if (mem < 0.0 || mem > kMaxMemoryGb) {
+            reject(out, opt, lineno,
+                   "memory bucket out of range [0, 16384]");
+            continue;
+        }
+
+        // Category -> the canonical (priority, sched_class) hint.
+        int priority = 0, sched_class = 0;
+        if (equalsLower(f[3], "interactive")) {
+            priority = 9;
+            sched_class = 3;
+        } else if (equalsLower(f[3], "delay-insensitive")) {
+            priority = 5;
+            sched_class = 1;
+        } else if (f[3].empty() || equalsLower(f[3], "unknown")) {
+            priority = 0;
+            sched_class = 0;
+        } else {
+            reject(out, opt, lineno,
+                   "unknown vm category '" + std::string(f[3]) + "'");
+            continue;
+        }
+
+        TraceEvent arrive;
+        arrive.kind = TraceEventKind::Arrival;
+        arrive.time_s = created;
+        arrive.instance = vm;
+        arrive.cpu = cores; // normalized after the scan below.
+        arrive.memory = mem;
+        arrive.priority = priority;
+        arrive.sched_class = sched_class;
+        out.events.push_back(arrive);
+        if (has_delete) {
+            TraceEvent depart = arrive;
+            depart.kind = TraceEventKind::Departure;
+            depart.time_s = deleted;
+            out.events.push_back(depart);
+        }
+        max_cores = std::max(max_cores, cores);
+        max_mem = std::max(max_mem, mem);
+        ++out.rows_ok;
+    }
+
+    // Azure buckets are absolute; the canonical model wants demands
+    // normalized to the biggest machine of the source, like Google's.
+    for (TraceEvent &ev : out.events) {
+        if (max_cores > 0.0)
+            ev.cpu /= max_cores;
+        if (max_mem > 0.0)
+            ev.memory /= max_mem;
+    }
+
+    std::stable_sort(out.events.begin(), out.events.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.time_s < b.time_s;
+                     });
+    if (!out.events.empty()) {
+        out.start_s = out.events.front().time_s;
+        out.end_s = out.events.back().time_s;
+    }
+    return out;
+}
+
+TraceStream
+parseAzureVmFile(const std::string &path, const ParseOptions &opt)
+{
+    std::string error;
+    std::unique_ptr<LineSource> src = openLineSource(path, &error);
+    if (!src) {
+        TraceStream out;
+        out.format = "azure-vm";
+        out.diagnostics.push_back({0, error});
+        ++out.rows_rejected;
+        return out;
+    }
+    return parseAzureVm(*src, opt);
+}
+
+} // namespace quasar::trace

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Parser for Azure-VM-style trace rows.
+ *
+ * Expected row shape (modeled on the Azure Public Dataset vmtable,
+ * reduced to the columns replay needs; 6 comma-separated columns, an
+ * optional header line starting with "vmid" is skipped):
+ *
+ *   0 vm id       uint64, or any non-empty string (hashed FNV-1a)
+ *   1 created     seconds since trace start, number >= 0
+ *   2 deleted     seconds; empty or -1 means "never deleted"
+ *   3 category    "interactive", "delay-insensitive", "unknown",
+ *                 or empty (drives the class hint below)
+ *   4 cores       VM core bucket, number > 0
+ *   5 memory      VM memory bucket in GB, number >= 0
+ *
+ * Canonical mapping: each row yields an Arrival at `created` and,
+ * when the VM was deleted inside the window, a Departure at
+ * `deleted`. CPU/memory are normalized to the largest bucket seen in
+ * the file (Azure buckets are absolute, unlike Google's pre-
+ * normalized requests). Category becomes the (priority, sched_class)
+ * hint: interactive VMs map like Google production-band rows,
+ * delay-insensitive like mid-band batch, unknown like the free band.
+ *
+ * Strictness: wrong field counts, bad numbers, negative create
+ * times, deletes before creates, and overflow-sized buckets (cores >
+ * 1024, memory > 16384 GB) are rejected with per-line diagnostics;
+ * the parser never throws and never aborts.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "trace/event.hh"
+#include "trace/reader.hh"
+
+namespace quasar::trace
+{
+
+/** Parse Azure-VM-style rows from any line source. */
+TraceStream parseAzureVm(LineSource &lines,
+                         const ParseOptions &opt = {});
+
+/**
+ * Parse an Azure-VM-style file (".gz" handled when built with
+ * zlib). An unopenable path yields an empty stream whose single
+ * diagnostic at line 0 carries the open error.
+ */
+TraceStream parseAzureVmFile(const std::string &path,
+                             const ParseOptions &opt = {});
+
+} // namespace quasar::trace

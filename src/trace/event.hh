@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Canonical cluster-trace event model: the format-independent stream
+ * every trace parser produces and everything downstream (mapper,
+ * replay adapter, synthesizer, benches) consumes.
+ *
+ * A trace is reduced to three event kinds on normalized resource
+ * demands: an instance *arrives* asking for CPU/memory, *departs*
+ * when the source cluster retired it, or *resizes* mid-life (a
+ * demand update — the trace-world analog of a phase change). Source
+ * placement decisions (SCHEDULE rows, machine ids) are deliberately
+ * dropped: the whole point of replay is that *our* manager makes the
+ * placements.
+ *
+ * Parsers never abort on malformed input. Every rejected row becomes
+ * a RowDiagnostic carrying the 1-based line number and a reason
+ * string; accepted rows become events. The counts on TraceStream let
+ * callers (and the CI gate) assert exactly how many rows a fixture
+ * rejects.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace quasar::trace
+{
+
+/** What happened to a traced instance. */
+enum class TraceEventKind
+{
+    Arrival,   ///< instance submitted / VM created.
+    Departure, ///< instance finished, killed, or deleted.
+    Resize,    ///< demand update mid-life (maps to a phase change).
+};
+
+/** One canonical event, time-ordered within a TraceStream. */
+struct TraceEvent
+{
+    TraceEventKind kind = TraceEventKind::Arrival;
+    /** Seconds on the source trace's clock (not yet rescaled). */
+    double time_s = 0.0;
+    /** Source instance identity (job/task or VM id, possibly hashed). */
+    uint64_t instance = 0;
+    /** CPU demand normalized to the source's largest machine, [0, 1]. */
+    double cpu = 0.0;
+    /** Memory demand normalized the same way, [0, 1]. */
+    double memory = 0.0;
+    /** Source priority band (Google: 0-11; Azure: derived). */
+    int priority = 0;
+    /** Source scheduling class (Google: 0-3; Azure: from category). */
+    int sched_class = 0;
+};
+
+/** One rejected row: where and why. */
+struct RowDiagnostic
+{
+    size_t line = 0; ///< 1-based physical line in the source.
+    std::string reason;
+};
+
+/** Parser output: the canonical stream plus ingest accounting. */
+struct TraceStream
+{
+    /** "google-task-events" or "azure-vm". */
+    std::string format;
+
+    /** Events sorted by time_s (stable: ties keep file order). */
+    std::vector<TraceEvent> events;
+
+    /** Per-row rejection diagnostics, capped at the parse option's
+     *  max_diagnostics; rows_rejected keeps the true total. */
+    std::vector<RowDiagnostic> diagnostics;
+
+    size_t rows_total = 0;    ///< physical non-empty lines seen.
+    size_t rows_ok = 0;       ///< rows decoded successfully.
+    size_t rows_rejected = 0; ///< rows rejected with a diagnostic.
+    /** Well-formed rows that legitimately produce no event (e.g.
+     *  Google SCHEDULE/EVICT/FAIL rows: source-cluster internals). */
+    size_t rows_ignored = 0;
+
+    /** Earliest / latest event time on the source clock, seconds. */
+    double start_s = 0.0;
+    double end_s = 0.0;
+
+    /** Source span in seconds (0 when fewer than two events). */
+    double spanSeconds() const
+    {
+        return end_s > start_s ? end_s - start_s : 0.0;
+    }
+};
+
+/** Knobs shared by both parsers. */
+struct ParseOptions
+{
+    /** Stop *storing* diagnostics past this many (counting always
+     *  continues — rejection never turns into an abort). */
+    size_t max_diagnostics = 256;
+    /** Reject rows whose normalized CPU/memory request exceeds this
+     *  (overflow-sized demands; Google requests are <= 1 by format). */
+    double demand_cap = 1.5;
+};
+
+/** FNV-1a of a byte string, for hashing non-numeric instance ids. */
+inline uint64_t
+fnv1a(const char *data, size_t n, uint64_t h = 0xCBF29CE484222325ULL)
+{
+    for (size_t i = 0; i < n; ++i) {
+        h ^= uint64_t(static_cast<unsigned char>(data[i]));
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+} // namespace quasar::trace

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Parser for Google cluster-trace-style task-events CSV.
+ *
+ * Expected row shape (the 2011 clusterdata task_events table, 13
+ * comma-separated columns, no header):
+ *
+ *   0 timestamp      microseconds, int64 >= 0
+ *   1 missing-info   optional int (ignored)
+ *   2 job id         uint64
+ *   3 task index     uint64
+ *   4 machine id     optional (ignored: we re-place everything)
+ *   5 event type     0 SUBMIT, 1 SCHEDULE, 2 EVICT, 3 FAIL,
+ *                    4 FINISH, 5 KILL, 6 LOST, 7 UPDATE_PENDING,
+ *                    8 UPDATE_RUNNING
+ *   6 user           optional string (ignored)
+ *   7 sched class    optional int 0-3 (empty -> 0)
+ *   8 priority       optional int 0-11 (empty -> 0)
+ *   9 CPU request    optional float, normalized to the largest
+ *                    machine (empty -> 0)
+ *  10 memory request optional float, normalized (empty -> 0)
+ *  11 disk request   optional float (ignored)
+ *  12 different-machine constraint (ignored)
+ *
+ * Canonical mapping: SUBMIT -> Arrival; FINISH/KILL/LOST ->
+ * Departure; UPDATE_* -> Resize. SCHEDULE/EVICT/FAIL are internal to
+ * the source cluster and are counted as ignored rows. The instance
+ * id folds job id and task index into one uint64.
+ *
+ * Strictness: wrong field counts, non-numeric or negative
+ * timestamps, unknown event types, non-numeric priorities/classes,
+ * and demands outside [0, demand_cap] are rejected with a per-line
+ * diagnostic; the special "outside the trace window" timestamps (0
+ * handled as trace start, 2^63-1 rejected) follow the format notes.
+ * The parser itself never throws and never aborts.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "trace/event.hh"
+#include "trace/reader.hh"
+
+namespace quasar::trace
+{
+
+/** Parse task-events rows from any line source. */
+TraceStream parseGoogleTaskEvents(LineSource &lines,
+                                  const ParseOptions &opt = {});
+
+/**
+ * Parse a task-events file (".gz" handled when built with zlib). An
+ * unopenable path yields an empty stream whose single diagnostic at
+ * line 0 carries the open error.
+ */
+TraceStream parseGoogleTaskEventsFile(const std::string &path,
+                                      const ParseOptions &opt = {});
+
+} // namespace quasar::trace

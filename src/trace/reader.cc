@@ -1,0 +1,199 @@
+#include "trace/reader.hh"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+
+#if defined(QUASAR_HAVE_ZLIB)
+#include <zlib.h>
+#endif
+
+namespace quasar::trace
+{
+
+namespace
+{
+
+/** Plain file, read through one reusable getline buffer. */
+class FileLines : public LineSource
+{
+  public:
+    explicit FileLines(const std::string &path) : in_(path) {}
+    bool ok() const { return in_.good(); }
+
+    bool next(std::string &line) override
+    {
+        if (!std::getline(in_, line))
+            return false;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        return true;
+    }
+
+  private:
+    std::ifstream in_;
+};
+
+#if defined(QUASAR_HAVE_ZLIB)
+/** Gzip-compressed file via zlib's gzFile, chunked into lines. */
+class GzLines : public LineSource
+{
+  public:
+    explicit GzLines(const std::string &path)
+        : gz_(gzopen(path.c_str(), "rb"))
+    {
+    }
+    ~GzLines() override
+    {
+        if (gz_)
+            gzclose(gz_);
+    }
+    GzLines(const GzLines &) = delete;
+    GzLines &operator=(const GzLines &) = delete;
+
+    bool ok() const { return gz_ != nullptr; }
+
+    bool next(std::string &line) override
+    {
+        line.clear();
+        char chunk[4096];
+        bool got = false;
+        // gzgets stops at a newline or a full chunk; loop until the
+        // newline lands so arbitrarily long lines stay correct.
+        while (gzgets(gz_, chunk, sizeof(chunk)) != nullptr) {
+            got = true;
+            line += chunk;
+            if (!line.empty() && line.back() == '\n') {
+                line.pop_back();
+                break;
+            }
+        }
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        return got;
+    }
+
+  private:
+    gzFile gz_;
+};
+#endif
+
+bool
+endsWithGz(const std::string &path)
+{
+    return path.size() >= 3 &&
+           path.compare(path.size() - 3, 3, ".gz") == 0;
+}
+
+} // namespace
+
+bool
+StringLines::next(std::string &line)
+{
+    if (pos_ >= text_.size())
+        return false;
+    size_t nl = text_.find('\n', pos_);
+    if (nl == std::string::npos)
+        nl = text_.size();
+    line.assign(text_, pos_, nl - pos_);
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+    pos_ = nl + 1;
+    return true;
+}
+
+std::unique_ptr<LineSource>
+openLineSource(const std::string &path, std::string *error)
+{
+    if (endsWithGz(path)) {
+#if defined(QUASAR_HAVE_ZLIB)
+        auto gz = std::make_unique<GzLines>(path);
+        if (!gz->ok()) {
+            if (error)
+                *error = "cannot open gzip file: " + path;
+            return nullptr;
+        }
+        return gz;
+#else
+        if (error)
+            *error = "gzip trace '" + path +
+                     "' but this build has no zlib; gunzip the file "
+                     "or rebuild with zlib available";
+        return nullptr;
+#endif
+    }
+    auto f = std::make_unique<FileLines>(path);
+    if (!f->ok()) {
+        if (error)
+            *error = "cannot open file: " + path;
+        return nullptr;
+    }
+    return f;
+}
+
+size_t
+splitFields(std::string_view line, char delim, std::string_view *out,
+            size_t max)
+{
+    size_t count = 0;
+    size_t start = 0;
+    for (size_t i = 0; i <= line.size(); ++i) {
+        if (i == line.size() || line[i] == delim) {
+            if (count < max)
+                out[count] = line.substr(start, i - start);
+            ++count;
+            start = i + 1;
+        }
+    }
+    return count;
+}
+
+namespace
+{
+
+std::string_view
+trimmed(std::string_view f)
+{
+    while (!f.empty() && (f.front() == ' ' || f.front() == '\t'))
+        f.remove_prefix(1);
+    while (!f.empty() && (f.back() == ' ' || f.back() == '\t'))
+        f.remove_suffix(1);
+    return f;
+}
+
+} // namespace
+
+bool
+parseU64(std::string_view field, uint64_t &out)
+{
+    field = trimmed(field);
+    if (field.empty())
+        return false;
+    auto [p, ec] = std::from_chars(field.data(),
+                                   field.data() + field.size(), out);
+    return ec == std::errc() && p == field.data() + field.size();
+}
+
+bool
+parseI64(std::string_view field, int64_t &out)
+{
+    field = trimmed(field);
+    if (field.empty())
+        return false;
+    auto [p, ec] = std::from_chars(field.data(),
+                                   field.data() + field.size(), out);
+    return ec == std::errc() && p == field.data() + field.size();
+}
+
+bool
+parseF64(std::string_view field, double &out)
+{
+    field = trimmed(field);
+    if (field.empty())
+        return false;
+    auto [p, ec] = std::from_chars(field.data(),
+                                   field.data() + field.size(), out);
+    return ec == std::errc() && p == field.data() + field.size();
+}
+
+} // namespace quasar::trace

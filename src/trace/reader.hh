@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Line sources and field splitting for the trace parsers: one
+ * allocation-light path from bytes on disk (plain or gzip) or bytes
+ * in memory to string_view CSV fields.
+ *
+ * The parsers pull physical lines through the LineSource interface
+ * into one reusable buffer, then split fields in place — no per-row
+ * or per-field allocations. Gzip support rides zlib when the build
+ * found it (QUASAR_HAVE_ZLIB); without it, opening a .gz path fails
+ * with a readable error instead of a crash, so the feature is
+ * optional, not assumed.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace quasar::trace
+{
+
+/** Pulls physical lines one at a time into a caller-owned buffer. */
+class LineSource
+{
+  public:
+    virtual ~LineSource() = default;
+
+    /**
+     * Read the next line into `line` (newline stripped, CR dropped).
+     * @return false at end of input; `line` is unspecified then.
+     */
+    virtual bool next(std::string &line) = 0;
+};
+
+/** Lines from an in-memory buffer (tests, synthetic fixtures). */
+class StringLines : public LineSource
+{
+  public:
+    explicit StringLines(std::string text) : text_(std::move(text)) {}
+    bool next(std::string &line) override;
+
+  private:
+    std::string text_;
+    size_t pos_ = 0;
+};
+
+/**
+ * Open a path as a line source. A ".gz" suffix selects the gzip
+ * decoder when built with zlib; otherwise (or when the file cannot
+ * be opened) returns null and fills `error`.
+ */
+std::unique_ptr<LineSource> openLineSource(const std::string &path,
+                                           std::string *error);
+
+/**
+ * Split `line` on `delim` into at most `max` string_views.
+ * @return the true field count, which may exceed `max` (extras are
+ *         counted but not stored) — callers reject on mismatch.
+ */
+size_t splitFields(std::string_view line, char delim,
+                   std::string_view *out, size_t max);
+
+/** @name Strict scalar field decoding (no locale, no exceptions)
+ * Each returns false on empty input, trailing junk, or out-of-range
+ * values — the parsers turn that into a per-line diagnostic. */
+/// @{
+bool parseU64(std::string_view field, uint64_t &out);
+bool parseI64(std::string_view field, int64_t &out);
+bool parseF64(std::string_view field, double &out);
+/// @}
+
+} // namespace quasar::trace

@@ -1,0 +1,61 @@
+#include "trace/replay.hh"
+
+#include <cassert>
+
+namespace quasar::trace
+{
+
+void
+TraceReplayer::install(sim::Cluster &cluster,
+                       workload::WorkloadRegistry &registry,
+                       driver::ScenarioDriver &driver)
+{
+    assert(plan_.empty() && "install() must be called once");
+
+    // One seeded factory stream, consumed in arrival order: the
+    // population is a pure function of (trace, seed), independent of
+    // everything downstream.
+    stats::Rng master(seed_);
+    workload::WorkloadFactory factory{master.fork()};
+
+    plan_.reserve(trace_.items.size());
+    size_t idx = 0;
+    for (const MappedItem &m : trace_.items) {
+        workload::Workload w = churn::makeChurnWorkload(
+            m.cls, idx, factory, cluster, "trace-");
+
+        churn::ChurnItem item;
+        item.cls = m.cls;
+        item.arrival_s = m.arrival_s;
+        if (m.depart_s > 0.0) {
+            item.depart_s = m.depart_s;
+            ++counts_.departures_planned;
+        }
+        if (m.phase_change) {
+            // The source resized this instance mid-life; morph at the
+            // midpoint of its (replayed) life, like churn does.
+            double end = item.depart_s > 0.0 ? item.depart_s
+                                             : trace_.horizon_s;
+            factory.addPhaseChange(
+                w, m.arrival_s + 0.5 * (end - m.arrival_s));
+            item.phase_change = true;
+            ++counts_.phase_changes;
+        }
+
+        item.id = registry.add(std::move(w));
+        driver.addArrival(item.id, m.arrival_s);
+        if (item.depart_s > 0.0) {
+            WorkloadId id = item.id;
+            double at = item.depart_s;
+            driver.events().schedule(at, [&driver, id, at]() {
+                driver.killWorkload(id, at);
+            });
+        }
+
+        plan_.push_back(item);
+        ++counts_.arrivals;
+        ++idx;
+    }
+}
+
+} // namespace quasar::trace

@@ -1,0 +1,227 @@
+#include "trace/synth.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace quasar::trace
+{
+
+namespace
+{
+
+/** Minimum closed lifetimes before we trust a per-class fit. */
+constexpr size_t kMinSamples = 8;
+/** Gap dispersion above which arrivals stop looking memoryless. */
+constexpr double kPoissonCvMax = 1.2;
+/** Lifetime-CV bands (see header). */
+constexpr double kFixedCvMax = 0.35;
+constexpr double kExponentialCvMax = 1.25;
+
+struct Moments
+{
+    size_t n = 0;
+    double mean = 0.0;
+    double cv = 0.0;
+};
+
+Moments
+moments(const std::vector<double> &xs)
+{
+    Moments m;
+    m.n = xs.size();
+    if (m.n == 0)
+        return m;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    m.mean = sum / double(m.n);
+    if (m.n < 2 || m.mean <= 0.0)
+        return m;
+    double ss = 0.0;
+    for (double x : xs)
+        ss += (x - m.mean) * (x - m.mean);
+    m.cv = std::sqrt(ss / double(m.n - 1)) / m.mean;
+    return m;
+}
+
+/** Skewness of ln(x) over positive samples (0 when undefined). */
+double
+logSkew(const std::vector<double> &xs)
+{
+    std::vector<double> logs;
+    logs.reserve(xs.size());
+    for (double x : xs)
+        if (x > 0.0)
+            logs.push_back(std::log(x));
+    if (logs.size() < 3)
+        return 0.0;
+    double n = double(logs.size());
+    double mean = 0.0;
+    for (double l : logs)
+        mean += l;
+    mean /= n;
+    double m2 = 0.0, m3 = 0.0;
+    for (double l : logs) {
+        double d = l - mean;
+        m2 += d * d;
+        m3 += d * d * d;
+    }
+    m2 /= n;
+    m3 /= n;
+    if (m2 <= 0.0)
+        return 0.0;
+    return m3 / std::pow(m2, 1.5);
+}
+
+/** Stddev of ln(x) over positive samples. */
+double
+logSigma(const std::vector<double> &xs)
+{
+    std::vector<double> logs;
+    logs.reserve(xs.size());
+    for (double x : xs)
+        if (x > 0.0)
+            logs.push_back(std::log(x));
+    if (logs.size() < 2)
+        return 0.0;
+    double mean = 0.0;
+    for (double l : logs)
+        mean += l;
+    mean /= double(logs.size());
+    double ss = 0.0;
+    for (double l : logs)
+        ss += (l - mean) * (l - mean);
+    return std::sqrt(ss / double(logs.size() - 1));
+}
+
+/**
+ * Hill-style tail estimate over positive samples: alpha = n / sum
+ * ln(x / x_min), clamped into (1, 3] so the fitted mean exists and
+ * the tail stays plausible for cluster data.
+ */
+double
+hillAlpha(const std::vector<double> &xs)
+{
+    double x_min = 0.0;
+    for (double x : xs)
+        // Sentinel compare: x_min is assigned exactly 0.0 above and
+        // only ever replaced by a sample, never computed.
+        if (x > 0.0 && (x_min == 0.0 || x < x_min)) // quasar-lint: allow(float-eq)
+            x_min = x;
+    if (x_min <= 0.0)
+        return 1.5;
+    double sum = 0.0;
+    size_t n = 0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            continue;
+        sum += std::log(x / x_min);
+        ++n;
+    }
+    if (n == 0 || sum <= 0.0)
+        return 1.5;
+    return std::clamp(double(n) / sum, 1.05, 3.0);
+}
+
+LifetimeFitStats
+fitLifetimes(const std::vector<double> &xs,
+             tracegen::DurationSpec &spec)
+{
+    LifetimeFitStats stats;
+    Moments m = moments(xs);
+    stats.samples = m.n;
+    stats.mean_s = m.mean;
+    stats.cv = m.cv;
+    stats.log_skew = logSkew(xs);
+    if (m.n < kMinSamples || m.mean <= 0.0)
+        return stats; // keep the caller's default spec.
+
+    if (m.cv < kFixedCvMax)
+        spec = tracegen::DurationSpec::fixed(m.mean);
+    else if (m.cv < kExponentialCvMax)
+        spec = tracegen::DurationSpec::exponential(m.mean);
+    else if (stats.log_skew > 1.0)
+        spec = tracegen::DurationSpec::pareto(m.mean, hillAlpha(xs));
+    else
+        spec = tracegen::DurationSpec::lognormal(
+            m.mean, std::max(logSigma(xs), 0.1));
+    stats.fitted = true;
+    return stats;
+}
+
+} // namespace
+
+SynthFit
+fitChurnConfig(const MappedTrace &trace, uint64_t seed,
+               double horizon_s)
+{
+    SynthFit fit;
+    fit.config.seed = seed;
+    fit.config.horizon_s =
+        horizon_s > 0.0 ? horizon_s : trace.horizon_s;
+    if (trace.items.empty())
+        return fit;
+
+    // ---- Arrival pacing. -------------------------------------------
+    fit.arrivals = trace.items.size();
+    fit.config.start_s = std::max(trace.items.front().arrival_s, 0.0);
+    std::vector<double> gaps;
+    gaps.reserve(trace.items.size());
+    for (size_t i = 1; i < trace.items.size(); ++i)
+        gaps.push_back(trace.items[i].arrival_s -
+                       trace.items[i - 1].arrival_s);
+    Moments gm = moments(gaps);
+    fit.arrival_gap_mean_s = gm.mean;
+    fit.arrival_gap_cv = gm.cv;
+    double span = trace.items.back().arrival_s -
+                  trace.items.front().arrival_s;
+    fit.config.arrival_rate_per_s =
+        span > 0.0 ? double(trace.items.size() - 1) / span
+                   : double(trace.items.size());
+    if (gm.n >= kMinSamples && gm.cv > kPoissonCvMax) {
+        fit.config.arrivals = churn::ArrivalKind::Pareto;
+        fit.config.pareto_alpha = hillAlpha(gaps);
+    } else {
+        fit.config.arrivals = churn::ArrivalKind::Poisson;
+    }
+
+    // ---- Mix. ------------------------------------------------------
+    double total = double(trace.mix.total());
+    if (total > 0.0) {
+        fit.config.mix.single_node =
+            double(trace.mix.single_node) / total;
+        fit.config.mix.analytics = double(trace.mix.analytics) / total;
+        fit.config.mix.service = double(trace.mix.service) / total;
+        fit.config.mix.best_effort =
+            double(trace.mix.best_effort) / total;
+    }
+
+    // ---- Per-class lifetimes (closed instances only). --------------
+    std::vector<double> lives[4];
+    for (const MappedItem &item : trace.items) {
+        if (item.depart_s <= 0.0)
+            continue;
+        lives[size_t(item.cls)].push_back(item.depart_s -
+                                          item.arrival_s);
+    }
+    fit.single_node =
+        fitLifetimes(lives[size_t(churn::ChurnClass::SingleNode)],
+                     fit.config.batch_lifetime);
+    fit.analytics =
+        fitLifetimes(lives[size_t(churn::ChurnClass::Analytics)],
+                     fit.config.analytics_lifetime);
+    fit.service =
+        fitLifetimes(lives[size_t(churn::ChurnClass::Service)],
+                     fit.config.service_lifetime);
+    fit.best_effort =
+        fitLifetimes(lives[size_t(churn::ChurnClass::BestEffort)],
+                     fit.config.best_effort_lifetime);
+
+    // ---- Phase changes. --------------------------------------------
+    fit.config.phase_change_fraction =
+        total > 0.0 ? double(trace.phase_changes) / total : 0.0;
+    return fit;
+}
+
+} // namespace quasar::trace

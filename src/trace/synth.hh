@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Trace synthesizer: fits the churn engine's generative knobs to an
+ * ingested trace, so a small checked-in fixture (1-2k rows) can
+ * drive 1k-10k-server runs with the trace's statistical character —
+ * the open-loop generator then extrapolates the population instead
+ * of looping the fixture.
+ *
+ * Fitting is moment-matching, pure arithmetic, no RNG:
+ *   - Arrival pacing: rate = arrivals per second of the mapped
+ *     horizon; gap CV <= ~1.2 keeps Poisson, heavier dispersion
+ *     switches to Pareto with a Hill-style tail estimate.
+ *   - Mix: per-class instance shares of the mapped population.
+ *   - Lifetimes per class: CV < 0.35 -> fixed; CV < 1.25 ->
+ *     exponential; heavier tails pick Pareto when the log-lifetimes
+ *     skew right, lognormal otherwise (sigma = stddev of ln x).
+ *   - Phase changes: the mapped phase-change fraction.
+ * Classes with too few closed lifetimes keep the engine defaults —
+ * a 2k-row fixture cannot pin four lifetime distributions at once,
+ * and a silent garbage fit would be worse than a documented default.
+ */
+
+#pragma once
+
+#include "churn/churn.hh"
+#include "trace/mapper.hh"
+
+namespace quasar::trace
+{
+
+/** Per-class fitting evidence (reported, also used for the fit). */
+struct LifetimeFitStats
+{
+    size_t samples = 0; ///< closed lifetimes observed.
+    double mean_s = 0.0;
+    double cv = 0.0;        ///< stddev / mean.
+    double log_skew = 0.0;  ///< skewness of ln(lifetime).
+    bool fitted = false;    ///< false: kept the engine default.
+};
+
+/** The fitted generator plus the evidence behind it. */
+struct SynthFit
+{
+    churn::ChurnConfig config;
+
+    size_t arrivals = 0;
+    double arrival_gap_mean_s = 0.0;
+    double arrival_gap_cv = 0.0;
+
+    LifetimeFitStats single_node;
+    LifetimeFitStats analytics;
+    LifetimeFitStats service;
+    LifetimeFitStats best_effort;
+};
+
+/**
+ * Fit a ChurnConfig to a mapped trace. Pure function of (trace,
+ * seed); the seed is stamped into the returned config so the
+ * synthetic stream replays deterministically. `horizon_s` scales the
+ * generated stream (default 0 keeps the trace's mapped horizon).
+ */
+SynthFit fitChurnConfig(const MappedTrace &trace, uint64_t seed,
+                        double horizon_s = 0.0);
+
+} // namespace quasar::trace

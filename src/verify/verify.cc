@@ -1,5 +1,6 @@
 #include "verify/verify.hh"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -142,6 +143,34 @@ sweepCluster(const sim::Cluster &cluster,
                      where);
             }
         }
+    }
+
+    // Hosting-index coherence: the incrementally-maintained reverse
+    // index must match this sweep's direct scan exactly — same
+    // workloads, same servers, same (ascending) order — and the busy
+    // set must be precisely the non-empty servers. A mismatch means a
+    // membership mutation path skipped its listener notification.
+    if (cluster.hostingIndex().hostedWorkloads() != hosting.size())
+        fail("hosting index tracks " +
+             std::to_string(cluster.hostingIndex().hostedWorkloads()) +
+             " hosted workloads but a direct scan finds " +
+             std::to_string(hosting.size()));
+    std::vector<ServerId> busy_scan;
+    for (size_t s = 0; s < cluster.size(); ++s)
+        if (!cluster.server(ServerId(s)).tasks().empty())
+            busy_scan.push_back(ServerId(s));
+    if (cluster.busyServers() != busy_scan)
+        fail("hosting index busy-server set diverges from a direct "
+             "scan (" +
+             std::to_string(cluster.busyServers().size()) +
+             " indexed vs " + std::to_string(busy_scan.size()) +
+             " scanned)");
+    for (auto &[wid, servers] : hosting) {
+        std::sort(servers.begin(), servers.end());
+        if (cluster.serversHosting(wid) != servers)
+            fail("hosting index entry for workload " +
+                 std::to_string(wid) +
+                 " diverges from a direct scan");
     }
 
     // Journal coherence: every placement-relevant mutation bumps the

@@ -68,6 +68,7 @@ WorkloadRegistry::add(Workload w)
     WorkloadId id = items_.size();
     w.id = id;
     items_.push_back(std::make_unique<Workload>(std::move(w)));
+    active_candidates_.push_back(id);
     return id;
 }
 
@@ -94,11 +95,15 @@ WorkloadRegistry::get(WorkloadId id) const
 std::vector<WorkloadId>
 WorkloadRegistry::active() const
 {
-    std::vector<WorkloadId> out;
-    for (const auto &w : items_)
-        if (!w->completed && !w->killed)
-            out.push_back(w->id);
-    return out;
+    // Self-healing compaction: ids are assigned monotonically and a
+    // finished workload never reactivates, so dropping completed and
+    // killed entries in place preserves ascending order and keeps the
+    // candidate list at O(active) for the next call.
+    std::erase_if(active_candidates_, [this](WorkloadId id) {
+        const Workload &w = *items_[id];
+        return w.completed || w.killed;
+    });
+    return active_candidates_;
 }
 
 std::vector<WorkloadId>

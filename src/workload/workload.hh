@@ -138,7 +138,13 @@ class WorkloadRegistry
 
     size_t size() const { return items_.size(); }
 
-    /** Ids of workloads not yet completed or killed. */
+    /**
+     * Ids of workloads not yet completed or killed, ascending. Served
+     * from a self-compacting candidate list: each call drops the
+     * entries that finished since the last one, so a long churn run
+     * pays O(active) per query instead of rescanning every workload
+     * ever submitted.
+     */
     std::vector<WorkloadId> active() const;
 
     /** All ids in submission order. */
@@ -146,6 +152,8 @@ class WorkloadRegistry
 
   private:
     std::vector<std::unique_ptr<Workload>> items_;
+    /** Superset of the active ids, compacted on read (see active()). */
+    mutable std::vector<WorkloadId> active_candidates_;
 };
 
 /**

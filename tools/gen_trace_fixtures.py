@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Generate the checked-in trace fixtures under tests/traces/.
+
+Deterministic (fixed seed): re-running reproduces the committed files
+byte for byte. Each fixture carries a known number of deliberately
+malformed rows so tests and the bench gate can assert the parsers'
+diagnostic counts exactly:
+
+  google_task_events.csv : 9 malformed rows
+  azure_vmtable.csv      : 7 malformed rows
+
+Keep those counts in sync with tests/test_trace.cc and
+bench/trace_replay.cc if you edit this file.
+"""
+
+import random
+
+random.seed(7)
+
+GOOGLE = "tests/traces/google_task_events.csv"
+AZURE = "tests/traces/azure_vmtable.csv"
+
+# ---------------------------------------------------------------- google
+# 13 columns: time_us, missing, job, task, machine, type, user,
+# sched_class, priority, cpu, mem, disk, constraint.
+
+HOUR_US = 3_600_000_000
+SPAN_US = 6 * HOUR_US
+
+
+def g_row(t, job, task, etype, sched, prio, cpu, mem):
+    return (f"{t},,{job},{task},,{etype},u{job % 17},{sched},{prio},"
+            f"{cpu:.4f},{mem:.4f},0.0001,0")
+
+
+rows = []
+for j in range(120):
+    job = 6_000_000_000 + j * 97
+    ntasks = random.randint(1, 8)
+    sched = random.choices([0, 1, 2, 3], weights=[30, 40, 20, 10])[0]
+    prio = random.choices([0, 1, 2, 4, 8, 9, 10, 11],
+                          weights=[18, 12, 20, 22, 10, 8, 6, 4])[0]
+    t0 = random.randint(0, SPAN_US // 2)
+    for task in range(ntasks):
+        cpu = random.uniform(0.01, 0.50)
+        mem = random.uniform(0.005, 0.40)
+        submit = t0 + random.randint(0, 60_000_000)
+        rows.append(g_row(submit, job, task, 0, sched, prio, cpu, mem))
+        # The source scheduler's own move: parsed, counted, ignored.
+        sched_at = submit + random.randint(1_000_000, 30_000_000)
+        rows.append(g_row(sched_at, job, task, 1, sched, prio, cpu, mem))
+        fate = random.random()
+        end = sched_at + random.randint(60_000_000, SPAN_US // 3)
+        end = min(end, SPAN_US - 1)
+        if fate < 0.15:
+            resize = sched_at + random.randint(10_000_000, 50_000_000)
+            rows.append(g_row(resize, job, task, 8, sched, prio,
+                              min(cpu * 1.5, 0.6), mem))
+        if fate < 0.70:
+            etype = 4 if random.random() < 0.8 else 5
+            rows.append(g_row(end, job, task, etype, sched, prio,
+                              cpu, mem))
+        # else: still running at the end of the window.
+
+# 9 deliberately malformed rows (see module docstring).
+BAD_GOOGLE = [
+    "123,,1,2,,0,u,0,0,0.1,0.1,0.0",                        # 12 fields
+    "123,,1,2,,0,u,0,0,0.1,0.1,0.0,0,extra",                # 14 fields
+    "abc,,1,2,,0,u,0,0,0.1,0.1,0.0,0",                      # bad ts
+    "-5,,1,2,,0,u,0,0,0.1,0.1,0.0,0",                       # negative ts
+    "9223372036854775807,,1,2,,0,u,0,0,0.1,0.1,0.0,0",      # 2^63-1
+    "123,,1,2,,12,u,0,0,0.1,0.1,0.0,0",                     # type 12
+    "123,,1,2,,0,u,0,0,7.5,0.1,0.0,0",                      # cpu > cap
+    "123,,1,2,,0,u,0,0,0.1,lots,0.0,0",                     # mem text
+    "123,,1,2,,0,u,0,high,0.1,0.1,0.0,0",                   # priority
+]
+for bad in BAD_GOOGLE:
+    rows.insert(random.randint(0, len(rows)), bad)
+
+with open(GOOGLE, "w") as f:
+    f.write("\n".join(rows) + "\n")
+print(f"{GOOGLE}: {len(rows)} rows ({len(BAD_GOOGLE)} malformed)")
+
+# ----------------------------------------------------------------- azure
+# 6 columns: vmid, created, deleted, category, cores, mem_gb.
+
+DAY_S = 86_400
+vm_rows = []
+for v in range(900):
+    vmid = 500_000 + v * 13
+    created = random.randint(0, DAY_S - 1)
+    cat = random.choices(
+        ["interactive", "delay-insensitive", "unknown", ""],
+        weights=[30, 50, 12, 8])[0]
+    cores = random.choice([1, 2, 4, 8, 16])
+    mem = random.choice([2, 4, 8, 16, 32, 64])
+    if random.random() < 0.75:
+        deleted = min(created + random.randint(300, DAY_S), DAY_S)
+        deleted_s = str(deleted)
+    else:
+        deleted_s = "" if random.random() < 0.5 else "-1"
+    vm_rows.append(f"{vmid},{created},{deleted_s},{cat},{cores},{mem}")
+
+# 7 deliberately malformed rows (see module docstring).
+BAD_AZURE = [
+    "901,100,200,interactive,4",          # 5 fields
+    ",100,200,interactive,4,8",           # empty vm id
+    "902,x,200,interactive,4,8",          # created not a number
+    "903,500,400,interactive,4,8",        # deleted < created
+    "904,100,200,interactive,0,8",        # cores out of range
+    "905,100,200,interactive,4,99999",    # memory overflow
+    "906,100,200,zebra,4,8",              # unknown category
+]
+for bad in BAD_AZURE:
+    vm_rows.insert(random.randint(0, len(vm_rows)), bad)
+
+with open(AZURE, "w") as f:
+    f.write("vmid,created,deleted,category,cores,mem_gb\n")
+    f.write("\n".join(vm_rows) + "\n")
+print(f"{AZURE}: {len(vm_rows)} rows ({len(BAD_AZURE)} malformed)")

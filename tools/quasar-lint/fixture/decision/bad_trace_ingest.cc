@@ -1,0 +1,48 @@
+// Deliberate violations shaped like trace-ingestion mistakes
+// (src/trace/ is a decision dir: the mapper's instance ordering and
+// pairing decide which workloads replay, so hash-order iteration and
+// float compares there change placements, not just style). Never
+// compiled.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct OpenInstance
+{
+    double arrival_s = 0.0;
+    double cpu = 0.0;
+};
+
+// Pairing arrivals to departures by walking a hash map: the mapped
+// instance order — and so every placement downstream — would depend
+// on the hash seed.
+double
+badInstancePairing(
+    const std::unordered_map<uint64_t, OpenInstance> &open)
+{
+    double total = 0.0;
+    for (const auto &kv : open)                    // expect(unordered-iter)
+        total += kv.second.cpu;
+    return total;
+}
+
+// Exact literal compares on parsed timestamps: a row at the "same"
+// instant differs in the last ulp after the microsecond conversion.
+bool
+badTimestampCompare(double row_s)
+{
+    if (row_s == 86400.0)                          // expect(float-eq)
+        return false;
+    return row_s != 0.0;                           // expect(float-eq)
+}
+
+// Counting and lookups against unordered containers are fine: no
+// iteration order surfaces in the output.
+size_t
+okDiagnosticLookup(
+    const std::unordered_map<uint64_t, OpenInstance> &open, uint64_t id)
+{
+    return open.count(id);
+}

@@ -103,6 +103,7 @@ const char *const kDecisionDirs[] = {
     "src/core/",
     "src/baselines/",
     "src/churn/",
+    "src/trace/",
     "fixture/decision/",
 };
 
