@@ -2,8 +2,10 @@
  * @file
  * Churn bench: sustained open-loop workload streams through the full
  * Quasar manager at 1k / 5k / 10k servers, comparing the scheduler's
- * three decision paths (dirty-set index, per-call cached index,
- * legacy full_rescan) under identical seeded churn.
+ * two production decision paths (dirty-set index, per-call cached
+ * index) under identical seeded churn. The legacy full_rescan path is
+ * tests-only (QUASAR_VERIFY shadow oracle + equivalence tests) and no
+ * longer carries a bench leg.
  *
  * For each (scale, mode) the bench reports sustained decisions/sec,
  * admission-queue depth, the QoS-violation rate of the latency
@@ -20,12 +22,10 @@
  * regressed more than --max-regression against the committed
  * BENCH_churn.json.
  *
- * `--smoke` is the CI variant: the 1000-server slice only, all three
+ * `--smoke` is the CI variant: the 1000-server slice only, both
  * modes, same horizon as the full run so its decisions/sec compare
  * directly against the committed baseline. The full run adds 5000
- * and 10000 servers (dirty + cached;
- * full_rescan is O(N log N + N ledger walks) per decision and only
- * benched at 1000).
+ * and 10000 servers.
  */
 
 #include <cmath>
@@ -250,12 +250,12 @@ runChurnBench(bool smoke, const std::string &out_path,
     // the 1000-server slice — a few seconds instead of minutes.
     const double horizon = 900.0;
     const int gate_servers = 1000;
-    // All three modes at 1k; the big scales compare dirty vs cached
-    // (full_rescan at 10k would dominate the bench's runtime without
-    // adding information — its asymptotics are settled at 1k).
+    // Both production modes at 1k; the big scales compare dirty vs
+    // cached. full_rescan is tests-only now (the QUASAR_VERIFY shadow
+    // oracle and the equivalence tests exercise it), so benches no
+    // longer carry a leg for it.
     points.push_back({1000, true, false});
     points.push_back({1000, false, false});
-    points.push_back({1000, false, true});
     if (!smoke) {
         points.push_back({5000, true, false});
         points.push_back({5000, false, false});
@@ -263,10 +263,9 @@ runChurnBench(bool smoke, const std::string &out_path,
         points.push_back({10000, false, false});
     }
 
-    bench::banner(smoke ? "churn stream (smoke): dirty vs cached vs "
-                          "full_rescan"
-                        : "churn stream: dirty vs cached vs "
-                          "full_rescan at 1k/5k/10k servers");
+    bench::banner(smoke ? "churn stream (smoke): dirty vs cached"
+                        : "churn stream: dirty vs cached at "
+                          "1k/5k/10k servers");
 
     std::FILE *out = std::fopen(out_path.c_str(), "w");
     if (!out) {

@@ -3,15 +3,17 @@
  * Trace-replay bench: the two checked-in cluster-trace fixtures
  * (Google task-events style, Azure vmtable style) ingested, mapped,
  * and replayed through the full Quasar manager, comparing the
- * scheduler's three decision paths under the identical mapped stream.
+ * scheduler's two production decision paths under the identical
+ * mapped stream (full_rescan is tests-only: the QUASAR_VERIFY shadow
+ * oracle and the equivalence tests cover it).
  *
  * Gates (exit non-zero on violation):
  *   1. Parser diagnostics: each fixture carries a known number of
  *      deliberately malformed rows; the parsers must reject exactly
  *      those, with per-line diagnostics, and nothing else.
- *   2. Mode divergence: dirty / cached / full_rescan must produce
- *      bit-identical placements (FNV-1a fold of the full allocation
- *      state every tick).
+ *   2. Mode divergence: dirty / cached must produce bit-identical
+ *      placements (FNV-1a fold of the full allocation state every
+ *      tick).
  *   3. Re-replay stability: replaying the same mapped trace twice in
  *      the same mode must produce the identical placement hash.
  *
@@ -22,7 +24,7 @@
  * 2000-server stream — the "small fixture, big cluster" path.
  *
  * `--smoke` is the CI variant: both fixtures at 200 servers over a
- * short horizon, all three modes plus the re-replay gate.
+ * short horizon, both modes plus the re-replay gate.
  *
  * To replay a real downloaded trace instead of the fixtures, point
  * `--traces=<dir>` at a directory whose files carry the fixture
@@ -85,8 +87,13 @@ struct ModeMetrics
     double qos_violation_rate = 0.0;
     uint64_t placement_hash = 0;
     size_t arrivals = 0;
+    /** Split QoS-outcome accounting (driver::outcomeOf): departed =
+     *  churn departures/cancellations, shed = overload-control drops,
+     *  degraded = completed-or-departed after a brownout episode. */
     size_t completed = 0;
-    size_t killed = 0;
+    size_t departed = 0;
+    size_t shed = 0;
+    size_t degraded = 0;
     /** Wall-clock means, milliseconds. */
     double classify_ms = 0.0;
     double profile_ms = 0.0;
@@ -190,10 +197,21 @@ runStream(int servers, double horizon_s, bool dirty, bool full,
 
     for (const churn::ChurnItem &item : *plan) {
         const workload::Workload &w = registry.get(item.id);
-        if (w.killed)
-            ++m.killed;
-        else if (w.completed)
+        switch (driver::outcomeOf(w)) {
+        case driver::WorkloadOutcome::Completed:
             ++m.completed;
+            break;
+        case driver::WorkloadOutcome::Departed:
+            ++m.departed;
+            break;
+        case driver::WorkloadOutcome::Shed:
+            ++m.shed;
+            break;
+        case driver::WorkloadOutcome::Active:
+            break;
+        }
+        if (w.brownout_ever)
+            ++m.degraded;
     }
 
     m.classify_ms = st.classify_time.meanSeconds() * 1e3;
@@ -243,7 +261,7 @@ runTraceReplayBench(bool smoke, const std::string &out_path,
     bench::banner(
         smoke ? "trace replay (smoke): google + azure fixtures"
               : "trace replay: google + azure fixtures, dirty vs "
-                "cached vs full_rescan + synth leg");
+                "cached + synth leg");
 
     Fixture fixtures[2] = {
         {"google", "google_task_events.csv", 9, {}, {}},
@@ -326,7 +344,6 @@ runTraceReplayBench(bool smoke, const std::string &out_path,
     for (const Fixture &fx : fixtures) {
         runs.push_back({&fx, true, false, false});
         runs.push_back({&fx, false, false, false});
-        runs.push_back({&fx, false, true, false});
         runs.push_back({&fx, true, false, true});
     }
 
@@ -353,13 +370,13 @@ runTraceReplayBench(bool smoke, const std::string &out_path,
             r.replay_check ? "re-replay" : modeName(r.dirty, r.full);
         std::printf(
             "  %-6s %-11s: %8.0f decisions/s  (%llu calls)  "
-            "depth %.1f/%zu  qos-viol %.3f  done %zu, killed %zu  "
-            "%s\n",
+            "depth %.1f/%zu  qos-viol %.3f  done %zu, departed %zu, "
+            "shed %zu, degraded %zu  %s\n",
             r.fx->name, label, m.decisions_per_s,
             (unsigned long long)m.schedule_calls,
             m.mean_admission_depth, m.max_admission_depth,
-            m.qos_violation_rate, m.completed, m.killed,
-            identical ? "identical" : "DIVERGED");
+            m.qos_violation_rate, m.completed, m.departed, m.shed,
+            m.degraded, identical ? "identical" : "DIVERGED");
         std::printf(
             "         breakdown ms: classify %.3f (profile %.3f)  "
             "schedule %.4f (rank %.4f place %.4f)  adapt %.4f  "
@@ -374,7 +391,8 @@ runTraceReplayBench(bool smoke, const std::string &out_path,
             "\"mean_admission_depth\": %.2f, "
             "\"max_admission_depth\": %zu, "
             "\"qos_violation_rate\": %.4f, "
-            "\"completed\": %zu, \"killed\": %zu, "
+            "\"completed\": %zu, \"departed\": %zu, \"shed\": %zu, "
+            "\"degraded\": %zu, "
             "\"placement_hash\": \"%016llx\", \"identical\": %s, "
             "\"classify_ms\": %.4f, \"profile_ms\": %.4f, "
             "\"schedule_ms\": %.5f, \"adapt_ms\": %.5f, "
@@ -383,7 +401,8 @@ runTraceReplayBench(bool smoke, const std::string &out_path,
             wrote_run ? ",\n" : "", r.fx->name, label, m.arrivals,
             m.decisions_per_s, (unsigned long long)m.schedule_calls,
             m.mean_admission_depth, m.max_admission_depth,
-            m.qos_violation_rate, m.completed, m.killed,
+            m.qos_violation_rate, m.completed, m.departed, m.shed,
+            m.degraded,
             (unsigned long long)m.placement_hash,
             identical ? "true" : "false", m.classify_ms, m.profile_ms,
             m.schedule_ms, m.adapt_ms, m.rank_ms, m.place_ms,
@@ -426,7 +445,8 @@ runTraceReplayBench(bool smoke, const std::string &out_path,
             "\"mean_admission_depth\": %.2f, "
             "\"max_admission_depth\": %zu, "
             "\"qos_violation_rate\": %.4f, "
-            "\"completed\": %zu, \"killed\": %zu, "
+            "\"completed\": %zu, \"departed\": %zu, \"shed\": %zu, "
+            "\"degraded\": %zu, "
             "\"placement_hash\": \"%016llx\", \"identical\": true, "
             "\"classify_ms\": %.4f, \"profile_ms\": %.4f, "
             "\"schedule_ms\": %.5f, \"adapt_ms\": %.5f, "
@@ -435,7 +455,8 @@ runTraceReplayBench(bool smoke, const std::string &out_path,
             m.arrivals, m.decisions_per_s,
             (unsigned long long)m.schedule_calls,
             m.mean_admission_depth, m.max_admission_depth,
-            m.qos_violation_rate, m.completed, m.killed,
+            m.qos_violation_rate, m.completed, m.departed, m.shed,
+            m.degraded,
             (unsigned long long)m.placement_hash, m.classify_ms,
             m.profile_ms, m.schedule_ms, m.adapt_ms, m.rank_ms,
             m.place_ms, m.tick_ms);

@@ -27,7 +27,17 @@
 #      modes, on an unstable re-replay, or if either parser's
 #      diagnostic counts drift from the fixtures' known malformed-row
 #      counts (9 google / 7 azure — see tools/gen_trace_fixtures.py).
-#   6. Static analysis + verification soak:
+#   6. Run the overload-control smoke (Release): diurnal + flash-
+#      crowd traffic at 200 servers, controller off vs on. Fails if
+#      the controller's shedding/scaling decisions diverge across
+#      scheduler index modes or a re-replay (placement AND decision
+#      hashes), if any leg's completed + departed + shed + active
+#      does not equal its arrivals, if controller-on does not beat
+#      controller-off on the crowd-window QoS-violation rate, or if
+#      that rate regresses more than 0.05 (absolute) above the
+#      committed BENCH_overload.json (refresh with `bench/overload`
+#      — no --smoke — when a shift is intentional).
+#   7. Static analysis + verification soak:
 #      a. tools/quasar-lint over src/ bench/ tests/ examples/ tools/
 #         (determinism + hygiene rules, see DESIGN.md §10), after
 #         running its fixture self-test.
@@ -84,6 +94,17 @@ cmake --build build-release -j "$JOBS" --target trace_replay
 ./build-release/bench/trace_replay --smoke \
     --out=build-release/trace_replay_smoke.json
 
+echo "== overload smoke: controller replay + QoS gates =="
+cmake --build build-release -j "$JOBS" --target overload
+OVERLOAD_BASELINE_ARGS=()
+if [ -f BENCH_overload.json ]; then
+    OVERLOAD_BASELINE_ARGS=(--baseline=BENCH_overload.json
+                            --max-regression=0.05)
+fi
+./build-release/bench/overload --smoke \
+    --out=build-release/overload_smoke.json \
+    "${OVERLOAD_BASELINE_ARGS[@]}"
+
 echo "== lint: determinism + hygiene rules over the tree =="
 cmake --build build -j "$JOBS" --target quasar_lint
 ./build/tools/quasar_lint --self-test --fixture=tools/quasar-lint/fixture
@@ -108,8 +129,10 @@ cmake --build build-verify -j "$JOBS" --target quasar_tests
 # Verify suite asserts the oracle actually ran; the Trace* and
 # HostingIndex suites replay the fixtures under the oracle so every
 # replayed placement and the maintained hosting index are
-# shadow-checked tick by tick.
+# shadow-checked tick by tick; the Overload*/ScalingPolicy/
+# AdmissionQueue suites run the shed/brownout/autoscale paths
+# (including the 20-seed replay sweep) under the same sweeps.
 ./build-verify/tests/quasar_tests \
-    --gtest_filter='FaultRecovery.*:FaultInjector.*:Chaos.*:ServerHealth.*:AdmissionRetry.*:DecisionPath.*:ChangeJournal.*:Verify.*:Trace*.*:ChurnClosedLoop.*:HostingIndex.*'
+    --gtest_filter='FaultRecovery.*:FaultInjector.*:Chaos.*:ServerHealth.*:AdmissionRetry.*:DecisionPath.*:ChangeJournal.*:Verify.*:Trace*.*:ChurnClosedLoop.*:HostingIndex.*:Overload*.*:ScalingPolicy.*:AdmissionQueue.*'
 
 echo "== all checks passed =="

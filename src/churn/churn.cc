@@ -175,6 +175,23 @@ ChurnEngine::emitArrival(double t)
     ++next_idx_;
 }
 
+double
+ChurnEngine::pacedGap(double t)
+{
+    double gap = process_->nextGap(*pacing_);
+    if (!std::isfinite(gap) || !cfg_.rate_pattern)
+        return gap;
+    // The profile is a unit-less multiplier on the configured rate:
+    // 2x the rate halves the gap. A (near-)zero profile value means
+    // "no arrivals right now" — step a fixed beat forward instead of
+    // dividing toward infinity, so the stream resumes when the
+    // profile does.
+    double mult = cfg_.rate_pattern->qpsAt(t);
+    if (mult <= 1e-9)
+        return gap + 1.0 / std::max(cfg_.arrival_rate_per_s, 1e-9);
+    return gap / mult;
+}
+
 void
 ChurnEngine::closedLoopStep()
 {
@@ -188,7 +205,7 @@ ChurnEngine::closedLoopStep()
     else
         emitArrival(t);
 
-    double gap = process_->nextGap(*pacing_);
+    double gap = pacedGap(t);
     if (!std::isfinite(gap))
         return; // zero-rate process: the stream is over
     double next = t + gap;
@@ -240,7 +257,7 @@ ChurnEngine::install(sim::Cluster &cluster,
         double t = cfg_.start_s;
         while (t < cfg_.horizon_s) {
             emitArrival(t);
-            double gap = process_->nextGap(*pacing_);
+            double gap = pacedGap(t);
             if (!std::isfinite(gap))
                 break; // zero-rate process: the stream is over
             t += gap;

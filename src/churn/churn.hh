@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "tracegen/arrivals.hh"
+#include "tracegen/load_pattern.hh"
 
 #include "driver/scenario.hh"
 #include "sim/cluster.hh"
@@ -79,6 +80,14 @@ struct ChurnConfig
     double arrival_rate_per_s = 0.5;
     /** Pareto tail shape (used when arrivals == Pareto). */
     double pareto_alpha = 1.5;
+    /**
+     * Optional deterministic rate profile: the instantaneous arrival
+     * rate is arrival_rate_per_s * pattern(t) (qpsAt read as a unit-
+     * less multiplier — 1.0 = the configured rate), shaping diurnal
+     * swells and flash crowds onto either arrival process. Part of
+     * the config, so the stream stays a pure function of (cfg, seed).
+     */
+    tracegen::LoadPatternPtr rate_pattern;
 
     /** First arrival lands here... */
     double start_s = 1.0;
@@ -210,6 +219,12 @@ class ChurnEngine
     void emitArrival(double t);
     /** One closed-loop pacing instant: maybe emit, then re-arm. */
     void closedLoopStep();
+    /**
+     * Next inter-arrival gap as seen from time t: the process's raw
+     * gap, divided by the rate profile's multiplier at t (infinite
+     * when the process rate is zero).
+     */
+    double pacedGap(double t);
 
     ChurnConfig cfg_;
     std::vector<ChurnItem> plan_;

@@ -66,7 +66,11 @@ AdmissionQueue::drainForRetry(double now)
     std::vector<WorkloadId> out;
     std::vector<Entry> not_due;
     for (Entry &e : pending_) {
-        if (e.not_before <= now) {
+        // The aging guard trumps backoff: an entry past its age limit
+        // is due no matter how far its retry timer was pushed out.
+        bool aged = aging_limit_s_ > 0.0 &&
+                    now - e.enqueued_at >= aging_limit_s_;
+        if (e.not_before <= now || aged) {
             out.push_back(e.id);
             in_retry_.push_back(e);
         } else {
@@ -107,6 +111,18 @@ AdmissionQueue::abandon(WorkloadId id)
     };
     drop(pending_);
     drop(in_retry_);
+}
+
+double
+AdmissionQueue::enqueuedAt(WorkloadId id) const
+{
+    for (const Entry &e : pending_)
+        if (e.id == id)
+            return e.enqueued_at;
+    for (const Entry &e : in_retry_)
+        if (e.id == id)
+            return e.enqueued_at;
+    return -1.0;
 }
 
 bool

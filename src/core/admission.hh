@@ -43,11 +43,22 @@ class AdmissionQueue
     size_t size() const { return pending_.size() + in_retry_.size(); }
 
     /**
+     * Aging / starvation guard: entries queued for at least limit_s
+     * are always offered by drainForRetry regardless of their backoff
+     * timer, so a low-priority workload repeatedly deferred under
+     * pressure cannot be postponed past its age limit once the caller
+     * is willing to admit it again. <= 0 (the default) disables the
+     * guard.
+     */
+    void setAgingLimit(double limit_s) { aging_limit_s_ = limit_s; }
+
+    /**
      * Remove and return pending workloads whose retry is due at `now`
      * in FIFO order for a retry pass; the caller re-enqueues the ones
      * that still do not fit (or reports them admitted). Entries not
-     * yet due stay pending. The no-argument form ignores backoff and
-     * drains everything — used when fresh capacity just appeared.
+     * yet due stay pending unless older than the aging limit. The
+     * no-argument form ignores backoff and drains everything — used
+     * when fresh capacity just appeared.
      */
     std::vector<WorkloadId>
     drainForRetry(double now = std::numeric_limits<double>::infinity());
@@ -63,6 +74,13 @@ class AdmissionQueue
 
     /** Whether a workload is currently queued (or mid-retry). */
     bool contains(WorkloadId id) const;
+
+    /**
+     * When the workload first entered the queue (its wait start),
+     * or -1 when not queued. Overload control reads this for the
+     * deadline-aware shed decision.
+     */
+    double enqueuedAt(WorkloadId id) const;
 
     /** Wait-time statistics over all admitted workloads. */
     const stats::Samples &waitTimes() const { return waits_; }
@@ -91,6 +109,7 @@ class AdmissionQueue
     std::vector<Entry> pending_;
     std::vector<Entry> in_retry_;
     stats::Samples waits_;
+    double aging_limit_s_ = 0.0;
 };
 
 } // namespace quasar::core

@@ -22,8 +22,13 @@ QuasarManager::QuasarManager(sim::Cluster &cluster,
       scheduler_(cluster, cfg.scheduler, &registry),
       monitor_(cluster, registry, cfg.monitor,
                stats::Rng(cfg.seed ^ 0x3017)),
-      rng_(cfg.seed)
+      overload_(cfg.overload), rng_(cfg.seed)
 {
+    // The aging guard only rides along with overload control: with it
+    // off, queue behavior (and every committed placement hash) stays
+    // exactly as before.
+    if (cfg_.overload.enabled)
+        admission_.setAgingLimit(cfg_.overload.aging_limit_s);
 }
 
 void
@@ -102,7 +107,11 @@ QuasarManager::requiredPerf(const Workload &w, double t) const
         }
         offered = std::max(offered, 0.05 * w.target.qps);
         double headroom = -std::log(0.01) / w.target.latency_qos_s;
-        return 1.15 * offered + headroom;
+        // The autoscaler's demand boost multiplies the requirement,
+        // so the adapt loop (scale up / out, shrink suppression)
+        // enacts the PI controller's output through the existing
+        // machinery (boost is 1.0 with the controller off).
+        return (1.15 * offered + headroom) * overload_.boostFor(w.id);
       }
       case TargetKind::Ips:
         return w.target.rate;
@@ -137,6 +146,20 @@ QuasarManager::onSubmit(WorkloadId id, double t)
     overhead_s_[id] +=
         data.profiling_seconds + est.classification_seconds;
     estimates_[id] = std::move(est);
+
+    // Backpressure at the door: while the cluster is pressured,
+    // sheddable classes queue with exponential backoff instead of
+    // being scheduled into an already-drowning cluster. Services are
+    // never gated here.
+    if (overload_.shouldDefer(w)) {
+        overload_.noteDefer(id, t);
+        ++stats_.overload_deferred;
+        admission_.enqueueWithBackoff(id, t,
+                                      cfg_.overload.defer_base_s,
+                                      cfg_.overload.defer_max_s);
+        ++stats_.queued;
+        return;
+    }
 
     if (!trySchedule(id, t, true))
         ++stats_.queued;
@@ -654,18 +677,190 @@ QuasarManager::reclassifyAndReschedule(Workload &w, double t)
 }
 
 void
-QuasarManager::onTick(double t)
+QuasarManager::drainAdmission(double t, bool ignore_backoff)
 {
-    // Retry queued workloads whose backoff has elapsed (admission
-    // control; plain entries are always due).
-    for (WorkloadId id : admission_.drainForRetry(t)) {
+    // Retry queued workloads (admission control; plain entries are
+    // always due, backed-off ones when their timer or the aging
+    // guard says so). Under overload, due sheddable entries are
+    // re-deferred — or, past the shed deadline, dropped into the
+    // terminal shed state — before any scheduling is attempted.
+    std::vector<WorkloadId> due = ignore_backoff
+                                      ? admission_.drainForRetry()
+                                      : admission_.drainForRetry(t);
+    for (WorkloadId id : due) {
         Workload &w = registry_.get(id);
         if (w.completed || w.killed) {
             admission_.abandon(id);
             continue;
         }
+        double since = admission_.enqueuedAt(id);
+        double age = since >= 0.0 ? t - since : -1.0;
+        if (overload_.shouldShed(w, age)) {
+            shedWorkload(w, t);
+            continue;
+        }
+        // The aging guard breaks the backpressure feedback loop: a
+        // deferred entry keeps the queue deep, which keeps the
+        // detector pressured, which would re-defer it forever. Past
+        // the age limit the entry escapes the defer gate and gets a
+        // real scheduling attempt (under true overload that attempt
+        // fails and it simply re-queues).
+        bool aged = cfg_.overload.aging_limit_s > 0.0 && age >= 0.0 &&
+                    age >= cfg_.overload.aging_limit_s;
+        if (!aged && overload_.shouldDefer(w)) {
+            overload_.noteDefer(id, t);
+            ++stats_.overload_deferred;
+            admission_.enqueueWithBackoff(
+                id, t, cfg_.overload.defer_base_s,
+                cfg_.overload.defer_max_s);
+            continue;
+        }
         trySchedule(id, t, true);
     }
+}
+
+void
+QuasarManager::shedWorkload(Workload &w, double t)
+{
+    // Terminal and accounted: the arrival leaves the system
+    // explicitly (shed implies killed, holds no resources, and is
+    // counted apart from completions and churn departures).
+    w.shed = true;
+    w.killed = true;
+    w.brownout_active = false;
+    w.completion_time = t;
+    overload_.noteShed(w.id, t);
+    ++stats_.shed;
+    admission_.abandon(w.id);
+    cluster_.removeEverywhere(w.id);
+    strikes_.erase(w.id);
+    predictors_.erase(w.id);
+    last_adjust_.erase(w.id);
+    last_reschedule_.erase(w.id);
+    displaced_at_.erase(w.id);
+    brownout_saved_.erase(w.id);
+    overload_.forget(w.id);
+}
+
+void
+QuasarManager::applyBrownout(double t)
+{
+    // Graceful degradation instead of binary shed: every placed
+    // best-effort share is reduced to the brownout core count (memory
+    // kept — it is not the contended resource here), remembering the
+    // original sizes for the restore pass. Walk order (ascending ids,
+    // ascending servers) is deterministic and placement-derived, so
+    // the decisions replay bit-identically.
+    for (WorkloadId id : registry_.active()) {
+        Workload &w = registry_.get(id);
+        if (!w.best_effort || w.brownout_active)
+            continue;
+        std::vector<BrownoutShare> saved;
+        for (ServerId sid : cluster_.serversHosting(id)) {
+            sim::Server &srv = cluster_.server(sid);
+            const sim::TaskShare *share = srv.share(id);
+            if (!share || share->cores <= cfg_.overload.brownout_cores)
+                continue;
+            BrownoutShare bs{sid, share->cores, share->memory_gb};
+            if (srv.resize(id, cfg_.overload.brownout_cores,
+                           share->memory_gb))
+                saved.push_back(bs);
+        }
+        if (!saved.empty()) {
+            brownout_saved_[id] = std::move(saved);
+            w.brownout_active = true;
+            w.brownout_ever = true;
+            overload_.noteBrownout(id, t);
+            ++stats_.brownouts;
+        }
+    }
+}
+
+void
+QuasarManager::restoreBrownout(double t)
+{
+    for (auto it = brownout_saved_.begin();
+         it != brownout_saved_.end();) {
+        WorkloadId id = it->first;
+        Workload &w = registry_.get(id);
+        if (w.completed || w.killed) {
+            w.brownout_active = false;
+            it = brownout_saved_.erase(it);
+            continue;
+        }
+        bool fully = true;
+        for (const BrownoutShare &bs : it->second) {
+            sim::Server &srv = cluster_.server(bs.server);
+            const sim::TaskShare *share = srv.share(id);
+            if (!share)
+                continue; // displaced or evicted since; nothing held
+            if (share->cores >= bs.cores)
+                continue; // already grown back by the adapt loop
+            if (bs.cores - share->cores > srv.coresFree() ||
+                !srv.resize(id, bs.cores, bs.memory_gb))
+                fully = false;
+        }
+        if (fully) {
+            w.brownout_active = false;
+            overload_.noteRestore(id, t);
+            ++stats_.brownout_restores;
+            it = brownout_saved_.erase(it);
+        } else {
+            ++it; // partial restore: keep trying on later ticks
+        }
+    }
+}
+
+void
+QuasarManager::autoscaleServices(double t)
+{
+    // PerfEnforce-style control round: each active placed service's
+    // monitored normalized performance feeds its scaling policy; the
+    // output boost multiplies requiredPerf, which the adapt loop
+    // (scale up / out, shrink suppression) then enacts.
+    for (WorkloadId id : registry_.active()) {
+        Workload &w = registry_.get(id);
+        if (!workload::isLatencyCritical(w.type) || w.best_effort)
+            continue;
+        if (cluster_.serversHosting(id).empty())
+            continue;
+        double before = overload_.boostFor(id);
+        double boost = overload_.updateBoost(
+            id, monitor_.measure(w, t), t);
+        ++stats_.autoscale_updates;
+        // A raised requirement should act this tick, not after the
+        // adjustment cooldown from some earlier decision expires.
+        if (boost > before)
+            last_adjust_.erase(id);
+    }
+}
+
+void
+QuasarManager::onTick(double t)
+{
+    // Overload detector first: every gating decision of this tick
+    // (defer, shed, brownout) reads the state observed here. The
+    // probes — reserved CPU and queue depth — are pure functions of
+    // the placements, which are bit-identical across scheduler modes.
+    if (overload_.enabled()) {
+        OverloadState before = overload_.state();
+        sim::ClusterSnapshot snap = cluster_.snapshot();
+        OverloadState now =
+            overload_.observe(t, snap.cpu_reserved, admission_.size());
+        if (now != before)
+            ++stats_.overload_transitions;
+        if (now == OverloadState::Overloaded && cfg_.overload.brownout)
+            applyBrownout(t);
+        else if (now == OverloadState::Normal)
+            restoreBrownout(t);
+    }
+
+    drainAdmission(t, false);
+
+    // Service autoscaler round (paced by scale_interval_s), before
+    // the monitor loop so this tick's adjustments see fresh boosts.
+    if (overload_.beginScaleRound(t))
+        autoscaleServices(t);
 
     // Monitor active primary workloads.
     for (WorkloadId id : registry_.active()) {
@@ -736,16 +931,11 @@ QuasarManager::onCompletion(WorkloadId id, double t)
     last_adjust_.erase(id);
     last_reschedule_.erase(id);
     displaced_at_.erase(id);
+    brownout_saved_.erase(id);
+    overload_.forget(id);
     admission_.abandon(id);
     // Free capacity: retry queued workloads immediately.
-    for (WorkloadId qid : admission_.drainForRetry()) {
-        Workload &w = registry_.get(qid);
-        if (w.completed || w.killed) {
-            admission_.abandon(qid);
-            continue;
-        }
-        trySchedule(qid, t, true);
-    }
+    drainAdmission(t, true);
 }
 
 void
@@ -803,14 +993,7 @@ QuasarManager::onServerUp(ServerId, double t)
 {
     // Fresh capacity just appeared: retry the whole queue now,
     // ignoring any backoff timers.
-    for (WorkloadId id : admission_.drainForRetry()) {
-        Workload &w = registry_.get(id);
-        if (w.completed || w.killed) {
-            admission_.abandon(id);
-            continue;
-        }
-        trySchedule(id, t, true);
-    }
+    drainAdmission(t, true);
 }
 
 void

@@ -11,11 +11,13 @@
 
 #pragma once
 
+#include <map>
 #include <unordered_map>
 
 #include "core/admission.hh"
 #include "core/classifier.hh"
 #include "core/monitor.hh"
+#include "core/overload.hh"
 #include "core/predictor.hh"
 #include "core/scheduler.hh"
 #include "driver/cluster_manager.hh"
@@ -31,6 +33,10 @@ struct QuasarConfig
     ClassifierConfig classifier;
     SchedulerConfig scheduler;
     MonitorConfig monitor;
+    /** Overload control + service autoscaler (core/overload.hh);
+     *  disabled by default so existing decision paths and their
+     *  placement hashes are unperturbed. */
+    OverloadConfig overload;
 
     /** Enable proactive phase sampling (paper Sec. 4.1). */
     bool proactive_detection = true;
@@ -120,8 +126,17 @@ struct QuasarStats
     /** @name Fault tolerance */
     /// @{
     size_t server_failures = 0;  ///< crash events seen.
-    size_t tasks_displaced = 0;  ///< shares dropped by crashes.
+    size_t tasks_displaced = 0;  ///< displaced workload shares.
     size_t recoveries = 0;       ///< displaced workloads re-placed.
+    /// @}
+    /** @name Overload control (split QoS-outcome accounting) */
+    /// @{
+    size_t overload_deferred = 0; ///< arrivals/retries pushed back.
+    size_t shed = 0;              ///< terminal load sheds.
+    size_t brownouts = 0;         ///< best-effort degradations.
+    size_t brownout_restores = 0; ///< degradations undone.
+    size_t overload_transitions = 0; ///< detector state changes.
+    size_t autoscale_updates = 0; ///< policy control steps.
     /// @}
 };
 
@@ -169,6 +184,9 @@ class QuasarManager : public driver::ClusterManager
     const profiling::Profiler &profiler() const { return profiler_; }
     Classifier &classifier() { return classifier_; }
     const GreedyScheduler &scheduler() const { return scheduler_; }
+    /** Overload controller (state machine, shed/boost decisions,
+     *  decision hash, time-in-state). */
+    const OverloadController &overload() const { return overload_; }
     /// @}
 
   private:
@@ -201,6 +219,25 @@ class QuasarManager : public driver::ClusterManager
     void reclassifyAndReschedule(workload::Workload &w, double t);
     EstimateLookup estimateLookup() const;
 
+    /**
+     * One admission retry pass (tick / completion / server-up), with
+     * overload gating: due entries are shed, re-deferred, or retried.
+     * ignore_backoff drains everything (fresh capacity appeared).
+     */
+    void drainAdmission(double t, bool ignore_backoff);
+
+    /** @name Overload control (core/overload.hh) */
+    /// @{
+    /** Terminal shed of a queued workload (accounted, never lost). */
+    void shedWorkload(workload::Workload &w, double t);
+    /** Degrade placed best-effort work while Overloaded, restore it
+     *  once the detector is back to Normal. */
+    void applyBrownout(double t);
+    void restoreBrownout(double t);
+    /** One autoscale round over the active placed services. */
+    void autoscaleServices(double t);
+    /// @}
+
     sim::Cluster &cluster_;
     workload::WorkloadRegistry &registry_;
     QuasarConfig cfg_;
@@ -209,6 +246,7 @@ class QuasarManager : public driver::ClusterManager
     GreedyScheduler scheduler_;
     Monitor monitor_;
     AdmissionQueue admission_;
+    OverloadController overload_;
     stats::Rng rng_;
 
     std::unordered_map<WorkloadId, WorkloadEstimate> estimates_;
@@ -219,6 +257,15 @@ class QuasarManager : public driver::ClusterManager
     std::unordered_map<WorkloadId, double> overhead_s_;
     /** Displacement time of workloads awaiting re-placement. */
     std::unordered_map<WorkloadId, double> displaced_at_;
+    /** Pre-brownout share sizes, for the restore path. std::map so
+     *  the apply/restore walk order is deterministic. */
+    struct BrownoutShare
+    {
+        ServerId server;
+        int cores;
+        double memory_gb;
+    };
+    std::map<WorkloadId, std::vector<BrownoutShare>> brownout_saved_;
     stats::Samples recovery_times_;
     double last_proactive_ = 0.0;
     QuasarStats stats_;

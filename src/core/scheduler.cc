@@ -42,20 +42,6 @@ Allocation::totalMemoryGb() const
 namespace
 {
 
-/**
- * Legacy per-call platform-name map, kept only for the full_rescan
- * A/B path (the pre-index behavior rebuilt this per server score).
- */
-std::unordered_map<std::string, size_t>
-legacyPlatformIndex(const sim::Cluster &cluster)
-{
-    std::unordered_map<std::string, size_t> idx;
-    const auto &catalog = cluster.catalog();
-    for (size_t i = 0; i < catalog.size(); ++i)
-        idx[catalog[i].name] = i;
-    return idx;
-}
-
 struct Evictable
 {
     int cores = 0;
@@ -279,10 +265,7 @@ GreedyScheduler::serverQuality(const sim::Server &srv,
     // Degraded machines rank (and predict) proportionally lower; a
     // down machine is worth nothing.
     if (cfg_.full_rescan) {
-        auto map = legacyPlatformIndex(cluster_);
-        auto it = map.find(srv.platform().name);
-        assert(it != map.end());
-        double pf = est.platform_factor[it->second];
+        double pf = est.platform_factor[platformIndexOf(srv)];
         double im = est.interferenceMultiplier(
             srv.contentionForNewcomer(), cfg_.slope_guess);
         return pf * im * srv.speedFactor();
@@ -316,8 +299,7 @@ GreedyScheduler::pickNodeConfig(const sim::Server &srv, const Workload &w,
     int free_cores;
     double free_mem, free_storage, interf;
     if (cfg_.full_rescan) {
-        auto map = legacyPlatformIndex(cluster_);
-        p_idx = map.at(srv.platform().name);
+        p_idx = platformIndexOf(srv);
         free_cores = srv.coresFree();
         free_mem = srv.memoryFree();
         free_storage = srv.storageFree();
@@ -622,17 +604,14 @@ GreedyScheduler::allocateImpl(const Workload &w,
                 // Keep one knob setting across the job: re-scan
                 // restricted to matching columns by rejecting
                 // mismatches.
-                size_t p_idx;
+                size_t p_idx = platformIndexOf(srv);
                 double interf;
                 if (cfg_.full_rescan) {
-                    auto map = legacyPlatformIndex(cluster_);
-                    p_idx = map.at(srv.platform().name);
                     interf = est.interferenceMultiplier(
                                  srv.contentionForNewcomer(),
                                  cfg_.slope_guess) *
                              srv.speedFactor();
                 } else {
-                    p_idx = platformIndexOf(srv);
                     const ServerCacheEntry &e = cachedState(srv);
                     interf = est.interferenceMultiplier(
                                  e.contention, cfg_.slope_guess) *

@@ -34,9 +34,11 @@
  *  - cached (dirty_set = false): the pre-journal behavior — every
  *    decision checks every server's change epoch and refreshes stale
  *    entries lazily. Kept as the A/B midpoint.
- *  - full_rescan: the legacy recompute-everything path (per-call
- *    platform map, full ledger walks, eager sort), kept for A/B
- *    validation.
+ *  - full_rescan: the legacy recompute-everything path (full ledger
+ *    walks, eager sort), demoted to a tests-only shadow oracle: the
+ *    QUASAR_VERIFY layer and the equivalence tests re-run decisions
+ *    through it, but benches no longer carry a full_rescan leg and
+ *    production configs must not set it.
  */
 
 #pragma once
@@ -111,7 +113,9 @@ struct SchedulerConfig
      * Legacy decision path: recompute every server's contention
      * summary from the ledger and fully re-sort all candidates on
      * each placement, bypassing the incremental per-server index.
-     * Kept for A/B validation — must pick identical placements.
+     * Tests-only: the shadow oracle of the QUASAR_VERIFY layer and
+     * the equivalence tests set it (and must keep picking identical
+     * placements); benches and production configs must not.
      */
     bool full_rescan = false;
     /**

@@ -15,6 +15,18 @@ namespace quasar::driver
 
 using workload::Workload;
 
+WorkloadOutcome
+outcomeOf(const Workload &w)
+{
+    if (w.shed)
+        return WorkloadOutcome::Shed;
+    if (w.killed)
+        return WorkloadOutcome::Departed;
+    if (w.completed)
+        return WorkloadOutcome::Completed;
+    return WorkloadOutcome::Active;
+}
+
 ScenarioDriver::ScenarioDriver(sim::Cluster &cluster,
                                workload::WorkloadRegistry &registry,
                                ClusterManager &manager, DriverConfig cfg)

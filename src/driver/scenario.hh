@@ -36,6 +36,25 @@ struct DriverConfig
     size_t record_every = 1;
 };
 
+/**
+ * Terminal QoS-accounting outcome of a workload. Every arrival ends
+ * in exactly one of these (Active only while the run is still going),
+ * so experiment reports can split "killed" into its real causes:
+ * churn departures / cancellations vs. overload-control sheds.
+ * Brownout degradation is orthogonal (Workload::brownout_ever) — a
+ * degraded workload still completes or departs.
+ */
+enum class WorkloadOutcome
+{
+    Active,    ///< still running or queued.
+    Completed, ///< ran to completion.
+    Departed,  ///< churn departure / cancellation (killed, not shed).
+    Shed,      ///< dropped by overload control (terminal, accounted).
+};
+
+/** Classify a workload into its QoS-accounting outcome. */
+WorkloadOutcome outcomeOf(const workload::Workload &w);
+
 /** Per-service tracking for throughput/latency figures. */
 struct ServiceTrace
 {

@@ -113,6 +113,49 @@ Samples::fractionBelow(double threshold) const
     return double(n) / double(xs_.size());
 }
 
+StateDwell::StateDwell(size_t num_states, size_t initial_state)
+    : seconds_(num_states, 0.0), state_(initial_state)
+{
+    assert(initial_state < num_states);
+}
+
+void
+StateDwell::observe(double now)
+{
+    if (!started_) {
+        started_ = true;
+        last_ = now;
+        return;
+    }
+    seconds_[state_] += std::max(now - last_, 0.0);
+    last_ = now;
+}
+
+void
+StateDwell::transitionTo(size_t state, double now)
+{
+    assert(state < seconds_.size());
+    observe(now);
+    if (state != state_)
+        ++transitions_;
+    state_ = state;
+}
+
+double
+StateDwell::secondsIn(size_t state) const
+{
+    return state < seconds_.size() ? seconds_[state] : 0.0;
+}
+
+double
+StateDwell::fractionIn(size_t state) const
+{
+    double total = 0.0;
+    for (double s : seconds_)
+        total += s;
+    return total > 0.0 ? secondsIn(state) / total : 0.0;
+}
+
 ErrorReport
 makeErrorReport(const Samples &errors)
 {

@@ -75,6 +75,40 @@ class Samples
 };
 
 /**
+ * Time-in-state accounting over a small enumerated state space (e.g.
+ * the overload controller's Normal/Pressured/Overloaded machine).
+ * States are dense small integers; time advances monotonically via
+ * observe()/transitionTo(). Used for "time in overload" reporting.
+ */
+class StateDwell
+{
+  public:
+    explicit StateDwell(size_t num_states, size_t initial_state = 0);
+
+    /** Credit elapsed time to the current state (now >= last call). */
+    void observe(double now);
+
+    /** Credit elapsed time, then switch to `state`. */
+    void transitionTo(size_t state, double now);
+
+    size_t state() const { return state_; }
+    size_t transitions() const { return transitions_; }
+
+    /** Seconds credited to `state` so far (up to the last observe). */
+    double secondsIn(size_t state) const;
+
+    /** secondsIn / total observed time; 0 before any time passes. */
+    double fractionIn(size_t state) const;
+
+  private:
+    std::vector<double> seconds_;
+    size_t state_ = 0;
+    size_t transitions_ = 0;
+    double last_ = 0.0;
+    bool started_ = false;
+};
+
+/**
  * avg / 90th-percentile / max triple, the error format of paper
  * Table 2.
  */

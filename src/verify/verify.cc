@@ -127,6 +127,21 @@ sweepCluster(const sim::Cluster &cluster,
         }
     }
 
+    // Overload-control accounting: shed is a terminal outcome that
+    // implies killed (and therefore, via the checks above, holds no
+    // resources anywhere). A shed flag without killed means some path
+    // invented a fifth outcome outside the admitted / completed /
+    // departed / shed split.
+    if (registry) {
+        for (WorkloadId wid : registry->active()) {
+            const workload::Workload &w = registry->get(wid);
+            if (w.shed && !w.killed)
+                fail("workload " + std::to_string(wid) +
+                     " is marked shed but not killed — shed must be "
+                     "terminal");
+        }
+    }
+
     // No duplicate placements: each (server, workload) pair is unique
     // by the per-server check above; across servers, only distributed
     // workload types may hold shares on more than one machine.

@@ -101,6 +101,21 @@ struct Workload
     double completion_time = -1.0;
     bool killed = false;
     /**
+     * Terminal overload-control outcome: dropped from the admission
+     * queue by load shedding, never having reached the deadline-aware
+     * retry budget. A shed workload is always also killed (and holds
+     * no resources); the flag distinguishes accounted-shed arrivals
+     * from churn departures in outcome accounting.
+     */
+    bool shed = false;
+    /** @name Brownout (graceful degradation under overload) */
+    /// @{
+    /** Currently running in the reduced-allocation brownout mode. */
+    bool brownout_active = false;
+    /** Ever browned out (distinct "degraded" outcome accounting). */
+    bool brownout_ever = false;
+    /// @}
+    /**
      * Transient degradation window (state migration for stateful
      * services, relaunch cost, ...): performance is multiplied by
      * degraded_factor until degraded_until.
