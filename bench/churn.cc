@@ -1,11 +1,16 @@
 /**
  * @file
  * Churn bench: sustained open-loop workload streams through the full
- * Quasar manager at 1k / 5k / 10k servers, comparing the scheduler's
- * two production decision paths (dirty-set index, per-call cached
- * index) under identical seeded churn. The legacy full_rescan path is
- * tests-only (QUASAR_VERIFY shadow oracle + equivalence tests) and no
- * longer carries a bench leg.
+ * Quasar manager at 1k / 5k / 10k / 50k / 100k servers, comparing the
+ * scheduler's two production decision paths (dirty-set maintained
+ * order, per-call cached index) under identical seeded churn. The
+ * legacy full_rescan path is tests-only (QUASAR_VERIFY shadow oracle
+ * + equivalence tests) and no longer carries a bench leg. At 50k and
+ * 100k the cached mode's O(N)-per-call walk is too slow to be a
+ * useful referee, so those scales instead run the dirty mode twice
+ * ("dirty-rerun") and require the two replays to produce identical
+ * placement hashes — a determinism check at the scale the maintained
+ * order was built for.
  *
  * For each (scale, mode) the bench reports sustained decisions/sec,
  * admission-queue depth, the QoS-violation rate of the latency
@@ -33,6 +38,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "bench/common.hh"
@@ -62,8 +68,10 @@ clusterOfSize(int servers)
 }
 
 const char *
-modeName(bool dirty, bool full)
+modeName(bool dirty, bool full, bool rerun = false)
 {
+    if (rerun)
+        return "dirty-rerun";
     return full ? "full_rescan" : dirty ? "dirty" : "cached";
 }
 
@@ -210,28 +218,44 @@ runMode(int servers, double horizon_s, bool dirty, bool full)
     return m;
 }
 
-/** decisions_per_s of the dirty mode at the gate scale. */
-double
-baselineDirtyRate(const std::string &path, int gate_servers)
+struct BaselineRow
 {
+    bool found = false;
+    double rate = std::nan("");
+    uint64_t hash = 0;
+};
+
+/** The committed dirty-mode row for a scale: decisions/s + hash.
+ *  The mode match includes the closing quote so "dirty-rerun" rows
+ *  never alias "dirty". */
+BaselineRow
+baselineDirty(const std::string &path, int servers)
+{
+    BaselineRow row;
     std::FILE *f = std::fopen(path.c_str(), "r");
     if (!f)
-        return std::nan("");
+        return row;
     char line[1024];
     char want[64];
-    std::snprintf(want, sizeof(want), "\"servers\": %d", gate_servers);
-    double rate = std::nan("");
+    std::snprintf(want, sizeof(want), "\"servers\": %d,", servers);
     while (std::fgets(line, sizeof(line), f)) {
         if (!std::strstr(line, want) ||
             !std::strstr(line, "\"mode\": \"dirty\""))
             continue;
         const char *key = std::strstr(line, "\"decisions_per_s\":");
         if (key)
-            rate = std::atof(key + std::strlen("\"decisions_per_s\":"));
+            row.rate =
+                std::atof(key + std::strlen("\"decisions_per_s\":"));
+        const char *hkey = std::strstr(line, "\"placement_hash\": \"");
+        if (hkey)
+            row.hash = std::strtoull(
+                hkey + std::strlen("\"placement_hash\": \""), nullptr,
+                16);
+        row.found = true;
         break;
     }
     std::fclose(f);
-    return rate;
+    return row;
 }
 
 int
@@ -243,29 +267,39 @@ runChurnBench(bool smoke, const std::string &out_path,
         int servers;
         bool dirty;
         bool full;
+        bool rerun; // dirty run #2: determinism referee at big scales
     };
     std::vector<Point> points;
     // Smoke runs the same horizon as the full bench (so its numbers
     // are directly comparable to the committed baseline) but only
-    // the 1000-server slice — a few seconds instead of minutes.
+    // the 1000-server slice plus a dirty-only 10k leg — seconds
+    // instead of minutes.
     const double horizon = 900.0;
-    const int gate_servers = 1000;
-    // Both production modes at 1k; the big scales compare dirty vs
-    // cached. full_rescan is tests-only now (the QUASAR_VERIFY shadow
-    // oracle and the equivalence tests exercise it), so benches no
-    // longer carry a leg for it.
-    points.push_back({1000, true, false});
-    points.push_back({1000, false, false});
-    if (!smoke) {
-        points.push_back({5000, true, false});
-        points.push_back({5000, false, false});
-        points.push_back({10000, true, false});
-        points.push_back({10000, false, false});
+    // Both production modes up to 10k; cached is O(N) per call, so
+    // at 50k/100k the referee is a second seeded dirty replay that
+    // must reproduce the placement hash exactly. full_rescan is
+    // tests-only now (the QUASAR_VERIFY shadow oracle and the
+    // equivalence tests exercise it), so benches no longer carry a
+    // leg for it.
+    points.push_back({1000, true, false, false});
+    points.push_back({1000, false, false, false});
+    if (smoke) {
+        points.push_back({10000, true, false, false});
+    } else {
+        points.push_back({5000, true, false, false});
+        points.push_back({5000, false, false, false});
+        points.push_back({10000, true, false, false});
+        points.push_back({10000, false, false, false});
+        points.push_back({50000, true, false, false});
+        points.push_back({50000, true, false, true});
+        points.push_back({100000, true, false, false});
+        points.push_back({100000, true, false, true});
     }
 
-    bench::banner(smoke ? "churn stream (smoke): dirty vs cached"
-                        : "churn stream: dirty vs cached at "
-                          "1k/5k/10k servers");
+    bench::banner(smoke ? "churn stream (smoke): dirty vs cached at "
+                          "1k, dirty at 10k"
+                        : "churn stream: dirty vs cached to 10k, "
+                          "dirty re-replay to 100k servers");
 
     std::FILE *out = std::fopen(out_path.c_str(), "w");
     if (!out) {
@@ -277,18 +311,21 @@ runChurnBench(bool smoke, const std::string &out_path,
                  "  \"horizon_s\": %.0f,\n  \"scales\": [\n",
                  smoke ? "true" : "false", horizon);
 
-    // placement hash per scale from the dirty run, for divergence.
+    // placement hash per scale from the dirty run: the cached legs
+    // and the dirty-rerun legs must reproduce it exactly.
     std::vector<std::pair<int, uint64_t>> dirty_hashes;
+    // (servers, decisions/s, hash) of every primary dirty leg, for
+    // the baseline gates below.
+    std::vector<std::tuple<int, double, uint64_t>> dirty_results;
     bool all_identical = true;
-    double gate_rate = std::nan("");
     for (size_t i = 0; i < points.size(); ++i) {
         const Point &p = points[i];
         ModeMetrics m = runMode(p.servers, horizon, p.dirty, p.full);
         bool identical = true;
-        if (p.dirty) {
+        if (p.dirty && !p.rerun) {
             dirty_hashes.emplace_back(p.servers, m.placement_hash);
-            if (p.servers == gate_servers)
-                gate_rate = m.decisions_per_s;
+            dirty_results.emplace_back(p.servers, m.decisions_per_s,
+                                       m.placement_hash);
         } else {
             for (const auto &[srv, h] : dirty_hashes)
                 if (srv == p.servers)
@@ -299,8 +336,8 @@ runChurnBench(bool smoke, const std::string &out_path,
             "  %5d servers %-11s: %8.0f decisions/s  (%llu calls)  "
             "depth %.1f/%zu  qos-viol %.3f  done %zu, killed %zu  "
             "%s\n",
-            p.servers, modeName(p.dirty, p.full), m.decisions_per_s,
-            (unsigned long long)m.schedule_calls,
+            p.servers, modeName(p.dirty, p.full, p.rerun),
+            m.decisions_per_s, (unsigned long long)m.schedule_calls,
             m.mean_admission_depth, m.max_admission_depth,
             m.qos_violation_rate, m.completed, m.killed,
             identical ? "identical" : "DIVERGED");
@@ -323,7 +360,8 @@ runChurnBench(bool smoke, const std::string &out_path,
             "\"schedule_ms\": %.5f, \"adapt_ms\": %.5f, "
             "\"rank_ms\": %.5f, \"place_ms\": %.5f, "
             "\"tick_ms\": %.4f}%s\n",
-            p.servers, modeName(p.dirty, p.full), m.decisions_per_s,
+            p.servers, modeName(p.dirty, p.full, p.rerun),
+            m.decisions_per_s,
             (unsigned long long)m.schedule_calls,
             m.mean_admission_depth, m.max_admission_depth,
             m.qos_violation_rate, m.completed, m.killed,
@@ -337,29 +375,51 @@ runChurnBench(bool smoke, const std::string &out_path,
     std::printf("wrote %s\n", out_path.c_str());
 
     if (!all_identical) {
-        std::fprintf(stderr, "FAIL: scheduler modes diverged on "
-                             "placements under churn\n");
+        std::fprintf(stderr, "FAIL: scheduler modes (or dirty "
+                             "re-replays) diverged on placements "
+                             "under churn\n");
         return 1;
     }
     if (!baseline_path.empty()) {
-        double base = baselineDirtyRate(baseline_path, gate_servers);
-        if (std::isnan(base) || base <= 0.0) {
-            std::printf("no usable baseline at %s; skipping the "
-                        "regression gate\n",
-                        baseline_path.c_str());
-        } else if (!(gate_rate > base * (1.0 - max_regression))) {
-            std::fprintf(stderr,
-                         "FAIL: dirty decisions/s at %d servers "
-                         "(%.0f) regressed >%.0f%% vs baseline "
-                         "%.0f\n",
-                         gate_servers, gate_rate,
-                         max_regression * 100.0, base);
-            return 1;
-        } else {
-            std::printf("regression gate ok: %.0f decisions/s vs "
-                        "baseline %.0f (limit -%.0f%%)\n",
-                        gate_rate, base, max_regression * 100.0);
+        // Gate every dirty leg whose scale has a committed row:
+        // throughput must be within max_regression of the baseline,
+        // and the placement hash must reproduce it exactly (seeded
+        // stream + deterministic decision path).
+        bool any = false;
+        for (const auto &[servers, rate, hash] : dirty_results) {
+            BaselineRow base = baselineDirty(baseline_path, servers);
+            if (!base.found || std::isnan(base.rate) ||
+                base.rate <= 0.0)
+                continue;
+            any = true;
+            if (!(rate > base.rate * (1.0 - max_regression))) {
+                std::fprintf(stderr,
+                             "FAIL: dirty decisions/s at %d servers "
+                             "(%.0f) regressed >%.0f%% vs baseline "
+                             "%.0f\n",
+                             servers, rate, max_regression * 100.0,
+                             base.rate);
+                return 1;
+            }
+            if (base.hash != 0 && hash != base.hash) {
+                std::fprintf(stderr,
+                             "FAIL: dirty placement hash at %d "
+                             "servers (%016llx) diverged from the "
+                             "committed baseline (%016llx)\n",
+                             servers, (unsigned long long)hash,
+                             (unsigned long long)base.hash);
+                return 1;
+            }
+            std::printf("gate ok at %d servers: %.0f decisions/s vs "
+                        "baseline %.0f (limit -%.0f%%), hash "
+                        "reproduced\n",
+                        servers, rate, base.rate,
+                        max_regression * 100.0);
         }
+        if (!any)
+            std::printf("no usable baseline at %s; skipping the "
+                        "regression gates\n",
+                        baseline_path.c_str());
     }
     return 0;
 }

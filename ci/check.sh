@@ -13,13 +13,16 @@
 #      BENCH_decision_path.json baseline. The fresh numbers are
 #      written back to that file so improvements can be committed.
 #   4. Run the churn-stream smoke (Release): the full bench's
-#      1000-server slice — a seeded open-loop arrival/departure/fault
-#      stream through all three scheduler modes. Fails on any
-#      placement divergence
-#      between modes, or if the dirty-set mode's decisions/sec drops
-#      more than 25% below the committed BENCH_churn.json baseline
-#      (refresh that file with `bench/churn` — no --smoke — when the
-#      improvement is intentional).
+#      1000-server slice (dirty vs cached) plus a dirty-only
+#      larger-scale leg at 10000 servers — a seeded open-loop
+#      arrival/departure/fault stream. Fails on any placement
+#      divergence between modes, if either gated scale's dirty
+#      decisions/sec drops more than 25% below the committed
+#      BENCH_churn.json baseline, or if either scale's placement
+#      hash diverges from the committed one (the stream is seeded
+#      and the decision path deterministic, so the hash must
+#      reproduce in-container; refresh the file with `bench/churn`
+#      — no --smoke — when a change is intentional).
 #   5. Run the trace-replay smoke (Release): both checked-in trace
 #      fixtures (Google task-events, Azure vmtable) parsed, mapped,
 #      and replayed through all three scheduler modes plus a
@@ -79,7 +82,7 @@ fi
 ./build-release/bench/micro_overheads --decision-path \
     --out=BENCH_decision_path.json "${BASELINE_ARGS[@]}"
 
-echo "== churn smoke: mode equivalence + throughput gate =="
+echo "== churn smoke: mode equivalence + throughput/hash gates (1k + 10k) =="
 cmake --build build-release -j "$JOBS" --target churn
 CHURN_BASELINE_ARGS=()
 if [ -f BENCH_churn.json ]; then
@@ -133,6 +136,6 @@ cmake --build build-verify -j "$JOBS" --target quasar_tests
 # AdmissionQueue suites run the shed/brownout/autoscale paths
 # (including the 20-seed replay sweep) under the same sweeps.
 ./build-verify/tests/quasar_tests \
-    --gtest_filter='FaultRecovery.*:FaultInjector.*:Chaos.*:ServerHealth.*:AdmissionRetry.*:DecisionPath.*:ChangeJournal.*:Verify.*:Trace*.*:ChurnClosedLoop.*:HostingIndex.*:Overload*.*:ScalingPolicy.*:AdmissionQueue.*'
+    --gtest_filter='FaultRecovery.*:FaultInjector.*:Chaos.*:ServerHealth.*:AdmissionRetry.*:DecisionPath.*:ChangeJournal.*:RankingOrder.*:Verify.*:Trace*.*:ChurnClosedLoop.*:HostingIndex.*:Overload*.*:ScalingPolicy.*:AdmissionQueue.*'
 
 echo "== all checks passed =="

@@ -1,6 +1,7 @@
 #include "core/scheduler.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <limits>
@@ -78,6 +79,19 @@ rankedBefore(const std::pair<double, ServerId> &a,
     return a.second < b.second;
 }
 
+/**
+ * Admissible read-time bound on any bucket of a (platform, speed)
+ * level: quality = pf × im × speed with im ∈ (0, 1], so pf ≥ 0 gives
+ * quality ≤ pf × speed (exact in floating point: multiplying a
+ * non-negative representable value by a factor ≤ 1 never rounds above
+ * it), and pf < 0 gives quality ≤ 0.
+ */
+double
+levelBound(double platform_factor, double speed)
+{
+    return platform_factor >= 0.0 ? platform_factor * speed : 0.0;
+}
+
 } // namespace
 
 void
@@ -123,6 +137,183 @@ GreedyScheduler::refreshEntry(const sim::Server &srv,
     e.version = srv.version();
 }
 
+void
+GreedyScheduler::refreshEntryIndexed(const sim::Server &srv,
+                                     ServerCacheEntry &e) const
+{
+    refreshEntry(srv, e);
+    if (orderMaintained())
+        orderPlace(srv.id(), e);
+}
+
+void
+GreedyScheduler::orderPlace(ServerId id, const ServerCacheEntry &e) const
+{
+    std::array<uint64_t, 2 + interference::kNumSources> sig;
+    sig[0] = uint64_t(e.platform_idx);
+    sig[1] = std::bit_cast<uint64_t>(e.speed);
+    for (size_t i = 0; i < interference::kNumSources; ++i)
+        sig[2 + i] = std::bit_cast<uint64_t>(e.contention[i]);
+
+    if (server_bucket_.size() < cache_.size())
+        server_bucket_.resize(cache_.size(), kNoBucket);
+    uint32_t cur = server_bucket_[size_t(id)];
+    if (cur != kNoBucket && order_buckets_[cur].sig == sig)
+        return; // the mutation kept the signature; order unchanged
+    if (cur != kNoBucket)
+        orderRemove(id);
+
+    uint32_t slot;
+    auto it = bucket_of_sig_.find(sig);
+    if (it != bucket_of_sig_.end()) {
+        slot = it->second;
+    } else {
+        if (free_buckets_.empty()) {
+            slot = uint32_t(order_buckets_.size());
+            order_buckets_.emplace_back();
+        } else {
+            slot = free_buckets_.back();
+            free_buckets_.pop_back();
+        }
+        OrderBucket &b = order_buckets_[slot];
+        b.sig = sig;
+        b.platform_idx = e.platform_idx;
+        b.speed = e.speed;
+        b.contention = e.contention;
+        b.ids.clear();
+        if (platform_order_.size() <= e.platform_idx)
+            platform_order_.resize(e.platform_idx + 1);
+        OrderLevel &lvl = platform_order_[e.platform_idx][e.speed];
+        b.level_pos = uint32_t(lvl.buckets.size());
+        lvl.buckets.push_back(slot);
+        bucket_of_sig_.emplace(sig, slot);
+    }
+    order_buckets_[slot].ids.insert(id);
+    server_bucket_[size_t(id)] = slot;
+}
+
+void
+GreedyScheduler::orderRemove(ServerId id) const
+{
+    uint32_t slot = server_bucket_[size_t(id)];
+    OrderBucket &b = order_buckets_[slot];
+    b.ids.erase(id);
+    server_bucket_[size_t(id)] = kNoBucket;
+    if (!b.ids.empty())
+        return;
+    // Free the emptied bucket: swap-remove it from its level, drop the
+    // level when it empties, release the slot to the free list.
+    LevelMap &levels = platform_order_[b.platform_idx];
+    auto lit = levels.find(b.speed);
+    assert(lit != levels.end());
+    OrderLevel &lvl = lit->second;
+    uint32_t moved = lvl.buckets.back();
+    lvl.buckets[b.level_pos] = moved;
+    order_buckets_[moved].level_pos = b.level_pos;
+    lvl.buckets.pop_back();
+    if (lvl.buckets.empty())
+        levels.erase(lit);
+    bucket_of_sig_.erase(b.sig);
+    free_buckets_.push_back(slot);
+}
+
+bool
+GreedyScheduler::cursorLess(const OrderCursor &a, const OrderCursor &b)
+{
+    return rankedBefore({b.quality, b.id}, {a.quality, a.id});
+}
+
+bool
+GreedyScheduler::levelLess(const LevelCursor &a, const LevelCursor &b)
+{
+    if (a.bound != b.bound)
+        return a.bound < b.bound;
+    return a.platform > b.platform;
+}
+
+void
+GreedyScheduler::beginOrderedCandidates(OrderStream &s,
+                                        const WorkloadEstimate &est) const
+{
+    s.exact.clear();
+    s.pending.clear();
+    for (size_t p = 0; p < platform_order_.size(); ++p) {
+        const LevelMap &levels = platform_order_[p];
+        if (levels.empty())
+            continue;
+        assert(p < est.platform_factor.size());
+        LevelCursor lc;
+        lc.bound = levelBound(est.platform_factor[p], levels.begin()->first);
+        lc.platform = p;
+        lc.it = levels.begin();
+        s.pending.push_back(lc);
+    }
+    std::make_heap(s.pending.begin(), s.pending.end(), levelLess);
+}
+
+std::optional<std::pair<double, ServerId>>
+GreedyScheduler::nextOrderedCandidate(OrderStream &s,
+                                      const WorkloadEstimate &est) const
+{
+    while (true) {
+        // Emit the best expanded candidate once no unexpanded level
+        // can beat it. A level whose bound merely TIES the candidate
+        // must still be expanded first: it may hold an equal-quality
+        // server with a smaller id (rankedBefore's tie-break).
+        if (!s.exact.empty() &&
+            (s.pending.empty() ||
+             s.exact.front().quality > s.pending.front().bound)) {
+            std::pop_heap(s.exact.begin(), s.exact.end(), cursorLess);
+            OrderCursor c = s.exact.back();
+            s.exact.pop_back();
+            std::pair<double, ServerId> out{c.quality, c.id};
+            ++c.it;
+            if (c.it != c.bucket->ids.end()) {
+                c.id = *c.it;
+                s.exact.push_back(c);
+                std::push_heap(s.exact.begin(), s.exact.end(),
+                               cursorLess);
+            }
+            return out;
+        }
+        if (s.pending.empty())
+            return std::nullopt; // order fully drained
+        // Expand the best unexpanded level: apply the per-workload
+        // factors once per bucket (not once per server), then queue
+        // the platform's next-fastest level under its own bound.
+        std::pop_heap(s.pending.begin(), s.pending.end(), levelLess);
+        LevelCursor lc = s.pending.back();
+        s.pending.pop_back();
+        for (uint32_t slot : lc.it->second.buckets) {
+            const OrderBucket &b = order_buckets_[slot];
+            OrderCursor c;
+            // Exactly serverQuality's factor order, on bitwise-equal
+            // inputs, so the drained order matches a from-scratch
+            // ranking bit for bit.
+            c.quality = est.platform_factor[b.platform_idx] *
+                        est.interferenceMultiplier(b.contention,
+                                                   cfg_.slope_guess) *
+                        b.speed;
+            c.bucket = &b;
+            c.it = b.ids.begin();
+            c.id = *c.it;
+            s.exact.push_back(c);
+            std::push_heap(s.exact.begin(), s.exact.end(), cursorLess);
+        }
+        auto nit = std::next(lc.it);
+        if (nit != platform_order_[lc.platform].end()) {
+            LevelCursor nc;
+            nc.bound =
+                levelBound(est.platform_factor[lc.platform], nit->first);
+            nc.platform = lc.platform;
+            nc.it = nit;
+            s.pending.push_back(nc);
+            std::push_heap(s.pending.begin(), s.pending.end(),
+                           levelLess);
+        }
+    }
+}
+
 const GreedyScheduler::ServerCacheEntry &
 GreedyScheduler::cachedState(const sim::Server &srv) const
 {
@@ -130,7 +321,7 @@ GreedyScheduler::cachedState(const sim::Server &srv) const
         cache_.resize(cluster_.size());
     ServerCacheEntry &e = cache_[size_t(srv.id())];
     if (e.version != srv.version())
-        refreshEntry(srv, e);
+        refreshEntryIndexed(srv, e);
     return e;
 }
 
@@ -151,7 +342,7 @@ GreedyScheduler::refreshIndex() const
             const sim::Server &srv = cluster_.server(ServerId(i));
             ServerCacheEntry &e = cache_[i];
             if (force || e.version != srv.version())
-                refreshEntry(srv, e);
+                refreshEntryIndexed(srv, e);
         }
         index_primed_ = true;
     } else {
@@ -164,12 +355,20 @@ GreedyScheduler::refreshIndex() const
             const sim::Server &srv = cluster_.server(journal.at(pos));
             ServerCacheEntry &e = cache_[size_t(srv.id())];
             if (e.version != srv.version())
-                refreshEntry(srv, e);
+                refreshEntryIndexed(srv, e);
         }
     }
     journal_cursor_ = journal.end();
 #ifdef QUASAR_VERIFY
-    auditIndexCoherence();
+    // Sampled (every 64th refresh): the full recompute is O(N x
+    // ledger) and the refresh runs per decision, so auditing every
+    // call would dominate verify-build suites without adding much —
+    // a desynchronized entry stays desynchronized until its next
+    // legitimate refresh and is caught by a later sample or by the
+    // shadow oracle's divergence check. Tests can force an unsampled
+    // audit through auditIndexCoherenceNow().
+    if (++audit_refreshes_ % 64 == 0)
+        auditIndexCoherence();
 #endif
 }
 
@@ -177,15 +376,8 @@ GreedyScheduler::refreshIndex() const
 void
 GreedyScheduler::auditIndexCoherence() const
 {
-    // Sampled (every 64th refresh): the full recompute is O(N x
-    // ledger) and the refresh runs per decision, so auditing every
-    // call would dominate verify-build suites without adding much —
-    // a desynchronized entry stays desynchronized until its next
-    // legitimate refresh and is caught by a later sample or by the
-    // shadow oracle's divergence check.
-    static uint64_t refreshes = 0;
-    if (++refreshes % 64 != 0)
-        return;
+    ++verify::counters().index_audits;
+    size_t ordered_members = 0;
     for (size_t i = 0; i < cluster_.size(); ++i) {
         const sim::Server &srv = cluster_.server(ServerId(i));
         const ServerCacheEntry &cached = cache_[i];
@@ -217,6 +409,81 @@ GreedyScheduler::auditIndexCoherence() const
                          "its state — a placement-relevant mutation "
                          "skipped bumpVersion()\n",
                          i);
+            std::abort();
+        }
+        if (orderMaintained() && index_primed_) {
+            // The maintained order must mirror the cache entry field
+            // for field: the server sits in exactly one bucket whose
+            // signature bitwise-matches its refreshed state.
+            uint32_t slot = i < server_bucket_.size()
+                                ? server_bucket_[i]
+                                : kNoBucket;
+            if (slot == kNoBucket) {
+                std::fprintf(stderr,
+                             "QUASAR_VERIFY: server %zu missing from "
+                             "the maintained candidate order — a "
+                             "mutation was not journaled or the order "
+                             "update was skipped\n",
+                             i);
+                std::abort();
+            }
+            const OrderBucket &b = order_buckets_[slot];
+            if (b.platform_idx != fresh.platform_idx ||
+                std::bit_cast<uint64_t>(b.speed) !=
+                    std::bit_cast<uint64_t>(fresh.speed) ||
+                b.contention != fresh.contention ||
+                b.ids.count(ServerId(i)) == 0) {
+                std::fprintf(stderr,
+                             "QUASAR_VERIFY: order bucket for server "
+                             "%zu disagrees with its refreshed state "
+                             "(bucket platform %zu speed %.17g vs "
+                             "fresh platform %zu speed %.17g) — the "
+                             "incremental order is stale\n",
+                             i, b.platform_idx, b.speed,
+                             fresh.platform_idx, fresh.speed);
+                std::abort();
+            }
+        }
+    }
+    if (orderMaintained() && index_primed_) {
+        // Structural sweep: every level holds the buckets that claim
+        // it, level_pos back-references are exact, no bucket is empty,
+        // and the member total equals the cluster size (no ghost or
+        // duplicated entries).
+        for (size_t p = 0; p < platform_order_.size(); ++p) {
+            for (const auto &[speed, lvl] : platform_order_[p]) {
+                if (lvl.buckets.empty()) {
+                    std::fprintf(stderr,
+                                 "QUASAR_VERIFY: empty speed level "
+                                 "%.17g on platform %zu in the "
+                                 "maintained order\n",
+                                 speed, p);
+                    std::abort();
+                }
+                for (size_t j = 0; j < lvl.buckets.size(); ++j) {
+                    const OrderBucket &b =
+                        order_buckets_[lvl.buckets[j]];
+                    if (b.platform_idx != p ||
+                        std::bit_cast<uint64_t>(b.speed) !=
+                            std::bit_cast<uint64_t>(speed) ||
+                        b.level_pos != j || b.ids.empty()) {
+                        std::fprintf(
+                            stderr,
+                            "QUASAR_VERIFY: order bucket %u "
+                            "misfiled under platform %zu speed "
+                            "%.17g\n",
+                            lvl.buckets[j], p, speed);
+                        std::abort();
+                    }
+                    ordered_members += b.ids.size();
+                }
+            }
+        }
+        if (ordered_members != cluster_.size()) {
+            std::fprintf(stderr,
+                         "QUASAR_VERIFY: maintained order holds %zu "
+                         "members for %zu servers\n",
+                         ordered_members, cluster_.size());
             std::abort();
         }
     }
@@ -286,6 +553,30 @@ GreedyScheduler::serverQuality(const sim::Server &srv,
     double im = est.interferenceMultiplier(e.contention,
                                            cfg_.slope_guess);
     return pf * im * e.speed;
+}
+
+std::vector<std::pair<double, ServerId>>
+GreedyScheduler::rankedCandidates(const WorkloadEstimate &est) const
+{
+    std::vector<std::pair<double, ServerId>> out;
+    out.reserve(cluster_.size());
+    if (orderMaintained()) {
+        // Drain the maintained order best-first: the emitted sequence
+        // is the incremental structure's full view, which tests
+        // compare against a from-scratch sort by rankedBefore.
+        refreshIndex();
+        OrderStream stream;
+        beginOrderedCandidates(stream, est);
+        while (auto cand = nextOrderedCandidate(stream, est))
+            out.push_back(*cand);
+        return out;
+    }
+    for (size_t i = 0; i < cluster_.size(); ++i) {
+        const sim::Server &srv = cluster_.server(ServerId(i));
+        out.emplace_back(serverQuality(srv, est), ServerId(i));
+    }
+    std::sort(out.begin(), out.end(), rankedBefore);
+    return out;
 }
 
 GreedyScheduler::NodePick
@@ -454,83 +745,98 @@ GreedyScheduler::allocateImpl(const Workload &w,
             : 1;
 
     // Rank candidate servers by decreasing quality. The full_rescan
-    // path sorts everything up front (legacy); the incremental path
-    // heapifies and pops lazily, so a placement that settles after k
-    // servers never orders the remaining N - k.
+    // path sorts everything up front (legacy); the cached path
+    // heapifies and pops lazily; the dirty path never even touches
+    // servers that did not change — it streams best-first from the
+    // maintained per-platform order, so a placement that settles after
+    // k servers costs O(dirty + expanded levels + k log buckets).
     std::vector<std::pair<double, ServerId>> ranked;
-    const bool dirty = !cfg_.full_rescan && cfg_.dirty_set;
+    OrderStream stream;
+    const bool dirty = orderMaintained();
     {
         stats::ScopedTimer timer(timing_.rank);
-        if (dirty)
+        if (dirty) {
             refreshIndex();
-        ranked.reserve(cluster_.size());
-        for (size_t i = 0; i < cluster_.size(); ++i) {
-            bool avail;
-            int free;
-            if (dirty) {
-                // Contiguous index walk: entries are already fresh, so
-                // no Server dereference, epoch check, or name hash.
-                const ServerCacheEntry &e = cache_[i];
-                avail = e.available;
-                free = e.free_cores;
-                if (avail && may_evict) {
-                    free += e.be_cores;
-                }
-            } else if (cfg_.full_rescan) {
-                const sim::Server &srv = cluster_.server(ServerId(i));
-                avail = srv.available();
-                free = srv.coresFree();
-                if (avail && may_evict) {
-                    free += bestEffortTotals(srv).cores;
-                }
-            } else {
-                const sim::Server &srv = cluster_.server(ServerId(i));
-                const ServerCacheEntry &e = cachedState(srv);
-                avail = e.available;
-                free = e.free_cores;
-                if (avail && may_evict) {
-                    free += e.be_cores;
-                }
-            }
-            if (avail && may_evict && registry_) {
-                double pm = 0.0, ps = 0.0;
-                priorityEvictable(cluster_.server(ServerId(i)), w, free,
-                                  pm, ps);
-            }
-            if (!avail || free < 1)
-                continue; // down machines accept no placements
-            double quality;
-            if (dirty) {
-                // Same factors in the same order as serverQuality's
-                // cached path, so the ranking is bitwise identical.
-                const ServerCacheEntry &e = cache_[i];
-                quality = est.platform_factor[e.platform_idx] *
-                          est.interferenceMultiplier(e.contention,
-                                                     cfg_.slope_guess) *
-                          e.speed;
-            } else {
-                quality =
-                    serverQuality(cluster_.server(ServerId(i)), est);
-            }
-            ranked.emplace_back(quality, ServerId(i));
-        }
-        if (cfg_.full_rescan) {
-            std::sort(ranked.begin(), ranked.end(), rankedBefore);
+            beginOrderedCandidates(stream, est);
         } else {
-            std::make_heap(ranked.begin(), ranked.end(),
-                           [](const auto &a, const auto &b) {
-                               return rankedBefore(b, a);
-                           });
+            ranked.reserve(cluster_.size());
+            for (size_t i = 0; i < cluster_.size(); ++i) {
+                bool avail;
+                int free;
+                if (cfg_.full_rescan) {
+                    const sim::Server &srv =
+                        cluster_.server(ServerId(i));
+                    avail = srv.available();
+                    free = srv.coresFree();
+                    if (avail && may_evict) {
+                        free += bestEffortTotals(srv).cores;
+                    }
+                } else {
+                    const sim::Server &srv =
+                        cluster_.server(ServerId(i));
+                    const ServerCacheEntry &e = cachedState(srv);
+                    avail = e.available;
+                    free = e.free_cores;
+                    if (avail && may_evict) {
+                        free += e.be_cores;
+                    }
+                }
+                // The resident-ledger walk only ADDS evictable
+                // capacity and the filter below is `free < 1`, so a
+                // server already over the bar never needs it — the
+                // unguarded call was an O(N x residents) tax on every
+                // decision.
+                if (avail && free < 1 && may_evict && registry_) {
+                    double pm = 0.0, ps = 0.0;
+                    priorityEvictable(cluster_.server(ServerId(i)), w,
+                                      free, pm, ps);
+                }
+                if (!avail || free < 1)
+                    continue; // down machines accept no placements
+                double quality =
+                    serverQuality(cluster_.server(ServerId(i)), est);
+                ranked.emplace_back(quality, ServerId(i));
+            }
+            if (cfg_.full_rescan) {
+                std::sort(ranked.begin(), ranked.end(), rankedBefore);
+            } else {
+                std::make_heap(ranked.begin(), ranked.end(),
+                               [](const auto &a, const auto &b) {
+                                   return rankedBefore(b, a);
+                               });
+            }
         }
     }
 
-    // nth(i): the i-th best candidate. Pops the heap on demand (popped
-    // elements settle, sorted, at the tail), so both paths present the
-    // identical order the comparator defines.
+    // nth(i): the i-th best candidate, or nullopt past the end. The
+    // full_rescan path indexes its sorted vector; the cached path pops
+    // the heap on demand (popped elements settle, sorted, at the
+    // tail); the dirty path pulls from the order stream, memoizing
+    // into `ranked` so the fault-zone relaxation pass can rewind.
+    // All three present the identical order rankedBefore defines; the
+    // dirty stream additionally emits infeasible servers (down, or no
+    // free capacity even counting evictions), which pickNodeConfig
+    // rejects without mutating any placement state, so the chosen
+    // nodes are bit-identical across modes.
     size_t popped = 0;
-    auto nth = [&](size_t i) {
-        if (cfg_.full_rescan)
+    auto nth =
+        [&](size_t i) -> std::optional<std::pair<double, ServerId>> {
+        if (dirty) {
+            while (ranked.size() <= i) {
+                auto cand = nextOrderedCandidate(stream, est);
+                if (!cand)
+                    return std::nullopt;
+                ranked.push_back(*cand);
+            }
             return ranked[i];
+        }
+        if (cfg_.full_rescan) {
+            if (i >= ranked.size())
+                return std::nullopt;
+            return ranked[i];
+        }
+        if (i >= ranked.size())
+            return std::nullopt;
         while (popped <= i) {
             std::pop_heap(ranked.begin(),
                           ranked.begin() +
@@ -560,7 +866,7 @@ GreedyScheduler::allocateImpl(const Workload &w,
     const int passes = cfg_.spread_fault_zones ? 2 : 1;
     bool done = false;
     for (int pass = 0; pass < passes && !done; ++pass) {
-        for (size_t i = 0; i < ranked.size(); ++i) {
+        for (size_t i = 0;; ++i) {
             if (int(alloc.nodes.size()) >= max_nodes) {
                 done = true;
                 break;
@@ -571,7 +877,10 @@ GreedyScheduler::allocateImpl(const Workload &w,
                 break;
             }
 
-            const auto [quality, sid] = nth(i);
+            auto cand = nth(i);
+            if (!cand)
+                break; // candidates exhausted; maybe relax zones
+            const auto [quality, sid] = *cand;
             (void)quality;
             const sim::Server &srv = cluster_.server(sid);
             if (srv.hosts(w.id))

@@ -18,22 +18,27 @@
  * ledger summary, free capacity, and health are kept in a per-server
  * index revalidated against the server's change epoch
  * (sim::Server::version()) instead of being recomputed per placement.
- * Candidate servers are then drawn lazily from a max-heap, so a
- * placement that settles after k servers costs O(N + k log N) rather
- * than a full O(N log N) re-sort plus N ledger walks.
  *
  * Three ranking modes, all picking bit-identical placements:
  *  - dirty-set (default, SchedulerConfig::dirty_set): the per-server
  *    index is kept fresh by replaying the cluster's ChangeJournal —
  *    only servers actually touched since the last decision are
- *    recomputed, and the candidate walk reads the contiguous index
- *    (cached platform indices included) without dereferencing Server
- *    objects or hashing platform names. O(dirty) bookkeeping plus a
- *    branch-light O(N) scoring walk; the mode churn streams at 10k
- *    servers run on.
+ *    recomputed — and the candidate *order* is maintained
+ *    incrementally alongside it. Servers are grouped into buckets of
+ *    bitwise-equal workload-independent signature (platform index,
+ *    speed factor, newcomer-contention vector); every member of a
+ *    bucket has the same quality for every workload, so the
+ *    per-workload factors (platform factor × interference multiplier)
+ *    are applied once per *bucket* at read time, and candidates are
+ *    drained best-first through an admissible per-(platform, speed)
+ *    upper bound (the multiplier never exceeds 1). An allocate that
+ *    settles after k servers costs O(dirty + E + k log B) where E is
+ *    the buckets in the few expanded top levels and B ≤ N the live
+ *    bucket count — never an O(N) scoring walk or heapify.
  *  - cached (dirty_set = false): the pre-journal behavior — every
- *    decision checks every server's change epoch and refreshes stale
- *    entries lazily. Kept as the A/B midpoint.
+ *    decision checks every server's change epoch, refreshes stale
+ *    entries lazily, then heapifies all candidates (O(N) per call).
+ *    Kept as the A/B midpoint.
  *  - full_rescan: the legacy recompute-everything path (full ledger
  *    walks, eager sort), demoted to a tests-only shadow oracle: the
  *    QUASAR_VERIFY layer and the equivalence tests re-run decisions
@@ -43,8 +48,12 @@
 
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -197,6 +206,27 @@ class GreedyScheduler
     /** Decision-phase wall-clock timing since construction. */
     const SchedulerTiming &timing() const { return timing_; }
 
+    /**
+     * The complete candidate order this scheduler would walk for the
+     * given estimate: every server as (quality, id), best first, ties
+     * broken by ascending id. The dirty-set mode drains its maintained
+     * incremental order; the other modes score and sort from scratch.
+     * Diagnostic/test surface (the property suite compares the drained
+     * order against a from-scratch std::sort after every mutation) —
+     * O(N log N), not a decision-path call.
+     */
+    std::vector<std::pair<double, ServerId>>
+    rankedCandidates(const WorkloadEstimate &est) const;
+
+#ifdef QUASAR_VERIFY
+    /**
+     * Run the index/order coherence audit immediately, bypassing the
+     * per-refresh sampling — lets tests prove deterministically that a
+     * mutation which skipped the journal (or bumpVersion()) aborts.
+     */
+    void auditIndexCoherenceNow() const { auditIndexCoherence(); }
+#endif
+
   private:
     struct NodePick
     {
@@ -229,12 +259,103 @@ class GreedyScheduler
         size_t platform_idx = 0;
     };
 
+    /**
+     * One equivalence class of the maintained candidate order: every
+     * server whose workload-independent signature (platform index,
+     * speed factor, newcomer-contention vector — exactly the inputs of
+     * the quality expression) is *bitwise* equal. Members therefore
+     * have identical quality for every workload, so read time computes
+     * the per-workload factors once per bucket and emits members in
+     * ascending-id order — precisely rankedBefore's tie-break.
+     */
+    struct OrderBucket
+    {
+        /** Bitwise signature: [platform_idx, speed, contention 0..7]. */
+        std::array<uint64_t, 2 + interference::kNumSources> sig{};
+        size_t platform_idx = 0;
+        double speed = 1.0;
+        interference::IVector contention{};
+        /** Members, ascending (the rankedBefore tie-break order). */
+        std::set<ServerId> ids;
+        /** Position inside its level's bucket list (swap-removal). */
+        uint32_t level_pos = 0;
+    };
+
+    /** Buckets of one (platform, speed) level, unordered within. */
+    struct OrderLevel
+    {
+        std::vector<uint32_t> buckets;
+    };
+
+    /** A platform's levels, fastest speed first. */
+    using LevelMap = std::map<double, OrderLevel, std::greater<double>>;
+
+    /** A cursor into one bucket during a read-time drain. */
+    struct OrderCursor
+    {
+        double quality = 0.0;
+        ServerId id = 0;
+        const OrderBucket *bucket = nullptr;
+        std::set<ServerId>::const_iterator it;
+    };
+
+    /** An unexpanded (platform, speed) level with its quality bound. */
+    struct LevelCursor
+    {
+        double bound = 0.0;
+        size_t platform = 0;
+        LevelMap::const_iterator it;
+    };
+
+    /**
+     * Read-time drain state for one allocate: `exact` holds cursors
+     * into expanded buckets (top = best (quality, id)); `pending`
+     * holds the best unexpanded level per platform under an admissible
+     * bound (quality ≤ platform_factor × speed since the interference
+     * multiplier never exceeds 1), so a candidate is emitted only once
+     * no unexpanded level can beat it.
+     */
+    struct OrderStream
+    {
+        std::vector<OrderCursor> exact;
+        std::vector<LevelCursor> pending;
+    };
+
     /** Recompute e from srv's current state (all modes share this, so
      *  the decision paths see bitwise-identical values). */
     void refreshEntry(const sim::Server &srv, ServerCacheEntry &e) const;
 
+    /** refreshEntry + incremental-order maintenance (dirty mode). */
+    void refreshEntryIndexed(const sim::Server &srv,
+                             ServerCacheEntry &e) const;
+
     /** Cached state for srv, refreshed if its epoch moved. */
     const ServerCacheEntry &cachedState(const sim::Server &srv) const;
+
+    /** True when this scheduler maintains the incremental order. */
+    bool orderMaintained() const
+    {
+        return cfg_.dirty_set && !cfg_.full_rescan;
+    }
+
+    /** Move id into the bucket matching e (no-op when unchanged). */
+    void orderPlace(ServerId id, const ServerCacheEntry &e) const;
+
+    /** Remove id from its bucket, freeing emptied buckets/levels. */
+    void orderRemove(ServerId id) const;
+
+    /** Heap orders (std::*_heap "less"): top = best candidate/bound. */
+    static bool cursorLess(const OrderCursor &a, const OrderCursor &b);
+    static bool levelLess(const LevelCursor &a, const LevelCursor &b);
+
+    /** Start a drain of the maintained order for one estimate. */
+    void beginOrderedCandidates(OrderStream &s,
+                                const WorkloadEstimate &est) const;
+
+    /** Next candidate in (quality desc, id asc) order, or nullopt. */
+    std::optional<std::pair<double, ServerId>>
+    nextOrderedCandidate(OrderStream &s,
+                         const WorkloadEstimate &est) const;
 
     /**
      * Dirty-set mode: bring the whole index up to date by replaying
@@ -308,6 +429,39 @@ class GreedyScheduler
     mutable uint64_t journal_cursor_ = 0;
     /** True once the dirty-set index fully covers the cluster. */
     mutable bool index_primed_ = false;
+
+    /** No-bucket sentinel for server_bucket_. */
+    static constexpr uint32_t kNoBucket = ~uint32_t(0);
+    struct SigHash
+    {
+        size_t operator()(
+            const std::array<uint64_t,
+                             2 + interference::kNumSources> &k) const
+        {
+            uint64_t h = 0xCBF29CE484222325ULL;
+            for (uint64_t v : k) {
+                h ^= v;
+                h *= 0x100000001B3ULL;
+            }
+            return size_t(h);
+        }
+    };
+    /** All order buckets; slots are stable and free-listed. */
+    mutable std::vector<OrderBucket> order_buckets_;
+    mutable std::vector<uint32_t> free_buckets_;
+    /** Signature → bucket slot (point lookups only, never iterated). */
+    mutable std::unordered_map<
+        std::array<uint64_t, 2 + interference::kNumSources>, uint32_t,
+        SigHash>
+        bucket_of_sig_;
+    /** Per-platform (speed-descending) level maps. */
+    mutable std::vector<LevelMap> platform_order_;
+    /** Each server's current bucket slot (kNoBucket when absent). */
+    mutable std::vector<uint32_t> server_bucket_;
+#ifdef QUASAR_VERIFY
+    /** Per-scheduler sampling counter for auditIndexCoherence(). */
+    mutable uint64_t audit_refreshes_ = 0;
+#endif
     mutable SchedulerTiming timing_;
 };
 

@@ -14,13 +14,19 @@
  * comparing their cached epoch against Server::version() when they
  * refresh an entry.
  *
- * The log is bounded: when it exceeds its capacity the oldest half is
+ * The log is bounded: when it reaches its capacity the oldest half is
  * dropped and the base offset advances. A reader whose cursor falls
  * behind the base has missed entries and must fall back to a full
  * version-check scan (exactly the pre-dirty-set behavior), then
  * resynchronize its cursor to end(). Memory therefore stays O(cap)
  * regardless of run length, and laggards degrade gracefully instead
  * of reading stale state.
+ *
+ * Storage is a fixed ring buffer, so compaction is an O(1) index
+ * advance — the earlier vector-backed log paid an O(cap) erase-from-
+ * front every cap/2 notes, a periodic latency spike in the tick loop
+ * at scale. The absolute-offset contract (base()/end()/at()) is
+ * unchanged; only the retained window's physical layout moved.
  */
 
 #pragma once
@@ -39,40 +45,49 @@ class ChangeJournal
   public:
     /** @param capacity max retained entries before compaction. */
     explicit ChangeJournal(size_t capacity = 4096)
-        : cap_(capacity < 16 ? 16 : capacity)
+        : cap_(capacity < 16 ? 16 : capacity), ring_(cap_)
     {
     }
 
     /** Record a mutation of the given server. */
     void note(ServerId id)
     {
-        if (log_.size() >= cap_) {
-            // Drop the oldest half; laggard readers detect the base
+        if (size_ == cap_) {
+            // Drop the oldest half by advancing the ring head — O(1),
+            // no element ever moves. Laggard readers detect the base
             // moving past their cursor and fall back to a full scan.
-            size_t drop = log_.size() / 2;
-            log_.erase(log_.begin(),
-                       log_.begin() + std::ptrdiff_t(drop));
+            size_t drop = size_ / 2;
+            head_ = wrap(head_ + drop);
             base_ += drop;
+            size_ -= drop;
         }
-        log_.push_back(id);
+        ring_[wrap(head_ + size_)] = id;
+        ++size_;
     }
 
     /** Offset of the oldest retained entry. */
     uint64_t base() const { return base_; }
 
     /** One past the newest entry (a fresh reader's cursor). */
-    uint64_t end() const { return base_ + log_.size(); }
+    uint64_t end() const { return base_ + size_; }
 
     /** Entry at absolute offset pos (base() <= pos < end()). */
-    ServerId at(uint64_t pos) const { return log_[pos - base_]; }
+    ServerId at(uint64_t pos) const
+    {
+        return ring_[wrap(head_ + size_t(pos - base_))];
+    }
 
     /** Total mutations ever recorded (monotone). */
     uint64_t totalNoted() const { return end(); }
 
   private:
+    size_t wrap(size_t i) const { return i < cap_ ? i : i - cap_; }
+
     size_t cap_;
     uint64_t base_ = 0;
-    std::vector<ServerId> log_;
+    size_t head_ = 0; ///< ring slot of the entry at offset base_.
+    size_t size_ = 0; ///< retained entries (<= cap_).
+    std::vector<ServerId> ring_;
 };
 
 } // namespace quasar::sim

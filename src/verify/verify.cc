@@ -150,8 +150,14 @@ sweepCluster(const sim::Cluster &cluster,
             if (servers.size() > 1 && registry->contains(wid) &&
                 !workload::isDistributed(registry->get(wid).type)) {
                 std::string where;
-                for (ServerId sid : servers)
-                    where += " " + std::to_string(sid);
+                for (ServerId sid : servers) {
+                    // Two appends, not `" " + to_string(...)`: the
+                    // temporary-string operator+ trips a gcc-12
+                    // -Wrestrict false positive (PR105651) under
+                    // -Werror.
+                    where += ' ';
+                    where += std::to_string(sid);
+                }
                 fail("non-distributed workload " +
                      std::to_string(wid) + " placed on " +
                      std::to_string(servers.size()) + " servers:" +

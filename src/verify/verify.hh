@@ -53,6 +53,9 @@ struct Counters
      *  process — a divergence aborts — but kept as a counter so the
      *  failure path is testable and soak reports can print it. */
     uint64_t shadow_divergences = 0;
+    /** Full index-coherence audits executed (sampled per refresh,
+     *  plus any test-forced unsampled runs). */
+    uint64_t index_audits = 0;
 };
 
 /** Mutable access to the process-wide counters. */

@@ -141,6 +141,44 @@ TEST(ChangeJournal, TinyCapacityIsClampedToFloor)
     EXPECT_EQ(j.end(), 16u);
 }
 
+TEST(ChangeJournal, RingWrapsManyTimesAgainstReferenceModel)
+{
+    // The ring's head/base arithmetic must agree with the dumbest
+    // possible reference (a deque that drops its front half when
+    // full) across many wrap-arounds and at every intermediate state.
+    sim::ChangeJournal j(16);
+    std::vector<ServerId> model; // retained window, oldest first
+    uint64_t model_base = 0;
+    for (int i = 0; i < 1000; ++i) {
+        ServerId id = ServerId((i * 7) % 101);
+        if (model.size() == 16) {
+            model.erase(model.begin(), model.begin() + 8);
+            model_base += 8;
+        }
+        model.push_back(id);
+        j.note(id);
+
+        ASSERT_EQ(j.base(), model_base) << "after note " << i;
+        ASSERT_EQ(j.end(), model_base + model.size())
+            << "after note " << i;
+        for (size_t k = 0; k < model.size(); ++k)
+            ASSERT_EQ(j.at(model_base + k), model[k])
+                << "after note " << i << " at window pos " << k;
+    }
+    EXPECT_EQ(j.totalNoted(), 1000u);
+}
+
+TEST(ChangeJournal, CompactionKeepsNewestHalfExactly)
+{
+    sim::ChangeJournal j(32);
+    for (ServerId id = 0; id < 33; ++id)
+        j.note(id); // the 33rd note triggers the first compaction
+    EXPECT_EQ(j.base(), 16u);
+    EXPECT_EQ(j.end(), 33u);
+    for (uint64_t pos = j.base(); pos < j.end(); ++pos)
+        EXPECT_EQ(j.at(pos), ServerId(pos));
+}
+
 TEST(ChangeJournal, FreshReaderStartsAtEndAndMissesNothingNew)
 {
     sim::ChangeJournal j(64);

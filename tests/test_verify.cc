@@ -127,4 +127,43 @@ TEST(Verify, FullRescanModeTakesNoShadowChecks)
         << "full_rescan decision was shadow-checked";
 }
 
+TEST(Verify, IndexAuditsFireAndCount)
+{
+    sim::Cluster cluster = sim::Cluster::localCluster();
+    core::GreedyScheduler dirty(cluster); // dirty_set default
+    core::WorkloadEstimate est;
+    est.platform_factor.assign(cluster.catalog().size(), 1.0);
+
+    const uint64_t before = verify::counters().index_audits;
+    (void)dirty.rankedCandidates(est); // primes the maintained order
+    dirty.auditIndexCoherenceNow();    // unsampled, must pass clean
+    EXPECT_GT(verify::counters().index_audits, before)
+        << "the forced audit did not run (or did not count itself)";
+}
+
+TEST(Verify, MutationWithoutNoteAbortsIndexAudit)
+{
+    // The coherence the incremental order depends on: every
+    // placement-relevant mutation bumps version() AND lands in the
+    // journal. Detach the journal from one server, mutate it, and the
+    // next audit must catch the stale index entry and abort.
+    sim::Cluster cluster = sim::Cluster::localCluster();
+    core::GreedyScheduler dirty(cluster);
+    core::WorkloadEstimate est;
+    est.platform_factor.assign(cluster.catalog().size(), 1.0);
+    (void)dirty.rankedCandidates(est); // primes index + order
+
+    cluster.server(5).attachJournal(nullptr);
+    cluster.server(5).degrade(0.5); // version bump, no journal note
+    EXPECT_DEATH(
+        {
+            // The journal has no entry for server 5, so the replay
+            // refreshes nothing; the unsampled audit then sees the
+            // stale entry.
+            (void)dirty.rankedCandidates(est);
+            dirty.auditIndexCoherenceNow();
+        },
+        "not journaled");
+}
+
 #endif // QUASAR_VERIFY
