@@ -116,7 +116,10 @@ hashClusterState(const sim::Cluster &cluster, uint64_t &h)
         const sim::Server &srv = cluster.server(ServerId(s));
         fold(uint64_t(s) << 32 | uint64_t(srv.available()));
         for (const sim::TaskShare &t : srv.tasks()) {
-            fold(uint64_t(t.workload));
+            // Socket folded into the high bits of the workload
+            // word: ids stay far below 2^48, and socket 0 leaves the
+            // pre-topology hash untouched (flat bit-identity).
+            fold(uint64_t(t.workload) | uint64_t(t.socket) << 48);
             fold(uint64_t(t.cores));
         }
     }

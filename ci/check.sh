@@ -40,7 +40,16 @@
 #      that rate regresses more than 0.05 (absolute) above the
 #      committed BENCH_overload.json (refresh with `bench/overload`
 #      — no --smoke — when a shift is intentional).
-#   7. Static analysis + verification soak:
+#   7. Run the topology smoke (Release): the cache-thrashed-socket
+#      scenario on 2-socket machines, socket-aware vs topology-blind
+#      homing (DESIGN.md §13). Fails if the aware leg's placement
+#      hash is not reproduced bit-identically by the cached-index and
+#      replay legs, if socket-aware does not beat topology-blind on
+#      the services' QoS-violation rate, or if that rate regresses
+#      more than 0.05 (absolute) above the committed
+#      BENCH_topology.json (refresh with `bench/topology --smoke`
+#      when a shift is intentional).
+#   8. Static analysis + verification soak:
 #      a. tools/quasar-lint over src/ bench/ tests/ examples/ tools/
 #         (determinism + hygiene rules, see DESIGN.md §10), after
 #         running its fixture self-test.
@@ -108,6 +117,17 @@ fi
     --out=build-release/overload_smoke.json \
     "${OVERLOAD_BASELINE_ARGS[@]}"
 
+echo "== topology smoke: socket-aware QoS + replay-hash gates =="
+cmake --build build-release -j "$JOBS" --target topology
+TOPOLOGY_BASELINE_ARGS=()
+if [ -f BENCH_topology.json ]; then
+    TOPOLOGY_BASELINE_ARGS=(--baseline=BENCH_topology.json
+                            --max-regression=0.05)
+fi
+./build-release/bench/topology --smoke \
+    --out=build-release/topology_smoke.json \
+    "${TOPOLOGY_BASELINE_ARGS[@]}"
+
 echo "== lint: determinism + hygiene rules over the tree =="
 cmake --build build -j "$JOBS" --target quasar_lint
 ./build/tools/quasar_lint --self-test --fixture=tools/quasar-lint/fixture
@@ -134,8 +154,12 @@ cmake --build build-verify -j "$JOBS" --target quasar_tests
 # replayed placement and the maintained hosting index are
 # shadow-checked tick by tick; the Overload*/ScalingPolicy/
 # AdmissionQueue suites run the shed/brownout/autoscale paths
-# (including the 20-seed replay sweep) under the same sweeps.
+# (including the 20-seed replay sweep) under the same sweeps; the
+# Topology*/Socket* suites cover the NUMA descriptor, per-socket
+# ledger conservation (incl. the desynced-ledger death test, which
+# only arms in this QUASAR_VERIFY build), socket selection, and the
+# flat-topology replay-equivalence sweep.
 ./build-verify/tests/quasar_tests \
-    --gtest_filter='FaultRecovery.*:FaultInjector.*:Chaos.*:ServerHealth.*:AdmissionRetry.*:DecisionPath.*:ChangeJournal.*:RankingOrder.*:Verify.*:Trace*.*:ChurnClosedLoop.*:HostingIndex.*:Overload*.*:ScalingPolicy.*:AdmissionQueue.*'
+    --gtest_filter='FaultRecovery.*:FaultInjector.*:Chaos.*:ServerHealth.*:AdmissionRetry.*:DecisionPath.*:ChangeJournal.*:RankingOrder.*:Verify.*:Trace*.*:ChurnClosedLoop.*:HostingIndex.*:Overload*.*:ScalingPolicy.*:AdmissionQueue.*:Topology*.*:Socket*.*'
 
 echo "== all checks passed =="

@@ -246,6 +246,7 @@ QuasarManager::applyAllocation(Workload &w, const Allocation &alloc,
         share.storage_gb = w.storage_gb_per_node;
         share.caused = w.causedPressure(t, node.cores);
         share.best_effort = w.best_effort;
+        share.socket = node.socket;
         cluster_.server(node.server).place(share);
     }
     w.last_progress_update = t;

@@ -92,6 +92,65 @@ levelBound(double platform_factor, double speed)
     return platform_factor >= 0.0 ? platform_factor * speed : 0.0;
 }
 
+/**
+ * Best predicted interference multiplier over a server's sockets —
+ * the lazily-applied per-workload factor of the quality expression.
+ * On a flat server this is exactly the single-view multiplier, so the
+ * flat quality expression is unchanged bit for bit.
+ */
+double
+bestSocketMultiplier(
+    const WorkloadEstimate &est,
+    const std::array<interference::IVector, topology::kMaxSockets>
+        &views,
+    int sockets, double slope)
+{
+    double best = est.interferenceMultiplier(views[0], slope);
+    for (int s = 1; s < sockets; ++s) {
+        double m = est.interferenceMultiplier(views[size_t(s)], slope);
+        if (m > best)
+            best = m;
+    }
+    return best;
+}
+
+/**
+ * Socket-selection rule (DESIGN.md §13). Aware: highest predicted
+ * multiplier, ties broken toward fewer homed cores, then the lower
+ * socket id; blind: least homed cores, then lower id. Deterministic
+ * on bitwise-equal inputs, so it replays identically in all modes.
+ */
+int
+chooseSocket(
+    const WorkloadEstimate &est,
+    const std::array<interference::IVector, topology::kMaxSockets>
+        &views,
+    const std::array<int, topology::kMaxSockets> &homed, int sockets,
+    bool socket_aware, double slope)
+{
+    if (sockets <= 1)
+        return 0;
+    int best = 0;
+    if (socket_aware) {
+        double best_m = est.interferenceMultiplier(views[0], slope);
+        for (int s = 1; s < sockets; ++s) {
+            double m =
+                est.interferenceMultiplier(views[size_t(s)], slope);
+            if (m > best_m ||
+                (m == best_m &&
+                 homed[size_t(s)] < homed[size_t(best)])) {
+                best = s;
+                best_m = m;
+            }
+        }
+        return best;
+    }
+    for (int s = 1; s < sockets; ++s)
+        if (homed[size_t(s)] < homed[size_t(best)])
+            best = s;
+    return best;
+}
+
 } // namespace
 
 void
@@ -123,7 +182,10 @@ void
 GreedyScheduler::refreshEntry(const sim::Server &srv,
                               ServerCacheEntry &e) const
 {
-    e.contention = srv.contentionForNewcomer();
+    sim::Server::SocketSnapshot snap = srv.socketSnapshot();
+    e.sockets = uint8_t(snap.sockets);
+    e.socket_contention = snap.contention;
+    e.socket_cores = snap.cores_homed;
     e.free_cores = srv.coresFree();
     e.free_mem = srv.memoryFree();
     e.free_storage = srv.storageFree();
@@ -149,11 +211,18 @@ GreedyScheduler::refreshEntryIndexed(const sim::Server &srv,
 void
 GreedyScheduler::orderPlace(ServerId id, const ServerCacheEntry &e) const
 {
-    std::array<uint64_t, 2 + interference::kNumSources> sig;
-    sig[0] = uint64_t(e.platform_idx);
+    // Socket count rides in the platform word: a flat server with
+    // contention v and a 2-socket server with [v, 0] must never share
+    // a bucket (the idle remote socket lifts the best-socket
+    // multiplier). Absent sockets stay zero-padded, so the flat
+    // partition is exactly the pre-topology one.
+    OrderSig sig{};
+    sig[0] = uint64_t(e.platform_idx) | uint64_t(e.sockets) << 56;
     sig[1] = std::bit_cast<uint64_t>(e.speed);
-    for (size_t i = 0; i < interference::kNumSources; ++i)
-        sig[2 + i] = std::bit_cast<uint64_t>(e.contention[i]);
+    for (size_t s = 0; s < size_t(topology::kMaxSockets); ++s)
+        for (size_t i = 0; i < interference::kNumSources; ++i)
+            sig[2 + s * interference::kNumSources + i] =
+                std::bit_cast<uint64_t>(e.socket_contention[s][i]);
 
     if (server_bucket_.size() < cache_.size())
         server_bucket_.resize(cache_.size(), kNoBucket);
@@ -179,7 +248,8 @@ GreedyScheduler::orderPlace(ServerId id, const ServerCacheEntry &e) const
         b.sig = sig;
         b.platform_idx = e.platform_idx;
         b.speed = e.speed;
-        b.contention = e.contention;
+        b.socket_contention = e.socket_contention;
+        b.sockets = e.sockets;
         b.ids.clear();
         if (platform_order_.size() <= e.platform_idx)
             platform_order_.resize(e.platform_idx + 1);
@@ -291,8 +361,9 @@ GreedyScheduler::nextOrderedCandidate(OrderStream &s,
             // inputs, so the drained order matches a from-scratch
             // ranking bit for bit.
             c.quality = est.platform_factor[b.platform_idx] *
-                        est.interferenceMultiplier(b.contention,
-                                                   cfg_.slope_guess) *
+                        bestSocketMultiplier(est, b.socket_contention,
+                                             b.sockets,
+                                             cfg_.slope_guess) *
                         b.speed;
             c.bucket = &b;
             c.it = b.ids.begin();
@@ -393,7 +464,9 @@ GreedyScheduler::auditIndexCoherence() const
         }
         ServerCacheEntry fresh;
         refreshEntry(srv, fresh);
-        if (fresh.contention != cached.contention ||
+        if (fresh.sockets != cached.sockets ||
+            fresh.socket_contention != cached.socket_contention ||
+            fresh.socket_cores != cached.socket_cores ||
             fresh.free_cores != cached.free_cores ||
             fresh.free_mem != cached.free_mem ||
             fresh.free_storage != cached.free_storage ||
@@ -431,7 +504,8 @@ GreedyScheduler::auditIndexCoherence() const
             if (b.platform_idx != fresh.platform_idx ||
                 std::bit_cast<uint64_t>(b.speed) !=
                     std::bit_cast<uint64_t>(fresh.speed) ||
-                b.contention != fresh.contention ||
+                b.sockets != fresh.sockets ||
+                b.socket_contention != fresh.socket_contention ||
                 b.ids.count(ServerId(i)) == 0) {
                 std::fprintf(stderr,
                              "QUASAR_VERIFY: order bucket for server "
@@ -533,8 +607,10 @@ GreedyScheduler::serverQuality(const sim::Server &srv,
     // down machine is worth nothing.
     if (cfg_.full_rescan) {
         double pf = est.platform_factor[platformIndexOf(srv)];
-        double im = est.interferenceMultiplier(
-            srv.contentionForNewcomer(), cfg_.slope_guess);
+        sim::Server::SocketSnapshot snap = srv.socketSnapshot();
+        double im = bestSocketMultiplier(est, snap.contention,
+                                         snap.sockets,
+                                         cfg_.slope_guess);
         return pf * im * srv.speedFactor();
     }
     if (cfg_.dirty_set) {
@@ -544,14 +620,14 @@ GreedyScheduler::serverQuality(const sim::Server &srv,
         refreshIndex();
         const ServerCacheEntry &e = cache_[size_t(srv.id())];
         double pf = est.platform_factor[e.platform_idx];
-        double im = est.interferenceMultiplier(e.contention,
-                                               cfg_.slope_guess);
+        double im = bestSocketMultiplier(est, e.socket_contention,
+                                         e.sockets, cfg_.slope_guess);
         return pf * im * e.speed;
     }
     double pf = est.platform_factor[platformIndexOf(srv)];
     const ServerCacheEntry &e = cachedState(srv);
-    double im = est.interferenceMultiplier(e.contention,
-                                           cfg_.slope_guess);
+    double im = bestSocketMultiplier(est, e.socket_contention,
+                                     e.sockets, cfg_.slope_guess);
     return pf * im * e.speed;
 }
 
@@ -589,13 +665,23 @@ GreedyScheduler::pickNodeConfig(const sim::Server &srv, const Workload &w,
     size_t p_idx;
     int free_cores;
     double free_mem, free_storage, interf;
+    // The socket-selection step: the greedy walk picks (server,
+    // socket), predicting node perf from the chosen socket's view.
+    // Flat servers always choose socket 0, reproducing the
+    // pre-topology multiplier bit for bit.
     if (cfg_.full_rescan) {
         p_idx = platformIndexOf(srv);
         free_cores = srv.coresFree();
         free_mem = srv.memoryFree();
         free_storage = srv.storageFree();
-        interf = est.interferenceMultiplier(srv.contentionForNewcomer(),
-                                            cfg_.slope_guess) *
+        sim::Server::SocketSnapshot snap = srv.socketSnapshot();
+        pick.socket =
+            chooseSocket(est, snap.contention, snap.cores_homed,
+                         snap.sockets, cfg_.socket_aware,
+                         cfg_.slope_guess);
+        interf = est.interferenceMultiplier(
+                     snap.contention[size_t(pick.socket)],
+                     cfg_.slope_guess) *
                  srv.speedFactor();
         if (count_evictable) {
             Evictable be = bestEffortTotals(srv);
@@ -609,8 +695,13 @@ GreedyScheduler::pickNodeConfig(const sim::Server &srv, const Workload &w,
         free_cores = e.free_cores;
         free_mem = e.free_mem;
         free_storage = e.free_storage;
-        interf = est.interferenceMultiplier(e.contention,
-                                            cfg_.slope_guess) *
+        pick.socket =
+            chooseSocket(est, e.socket_contention, e.socket_cores,
+                         e.sockets, cfg_.socket_aware,
+                         cfg_.slope_guess);
+        interf = est.interferenceMultiplier(
+                     e.socket_contention[size_t(pick.socket)],
+                     cfg_.slope_guess) *
                  e.speed;
         if (count_evictable) {
             free_cores += e.be_cores;
@@ -678,17 +769,28 @@ GreedyScheduler::pickNodeConfig(const sim::Server &srv, const Workload &w,
 bool
 GreedyScheduler::residentsTolerate(const sim::Server &srv,
                                    const WorkloadEstimate &est,
-                                   double cores,
+                                   double cores, int socket,
                                    const EstimateLookup &estimates) const
 {
     if (!estimates)
         return true;
-    const auto &cap = srv.platform().contention_capacity;
-    interference::IVector added;
-    for (size_t i = 0; i < interference::kNumSources; ++i)
-        added[i] = cap[i] > 0.0
-                       ? est.caused_per_core[i] * cores / cap[i]
-                       : 0.0;
+    // Per-socket view of the newcomer's caused pressure: full
+    // strength on its home socket, attenuated by the cross-socket
+    // factor elsewhere, each over that socket's capacity. The flat
+    // case multiplies by exactly 1.0 (no rounding), keeping the
+    // pre-topology arithmetic.
+    const interference::IVector &cross = srv.crossSocketFactor();
+    std::array<interference::IVector, topology::kMaxSockets> added{};
+    for (int s = 0; s < srv.numSockets(); ++s) {
+        const auto &cap = srv.socketCapacity(s);
+        for (size_t i = 0; i < interference::kNumSources; ++i) {
+            double atten = s == socket ? 1.0 : cross[i];
+            added[size_t(s)][i] =
+                cap[i] > 0.0
+                    ? est.caused_per_core[i] * cores * atten / cap[i]
+                    : 0.0;
+        }
+    }
     for (const sim::TaskShare &t : srv.tasks()) {
         if (t.best_effort)
             continue; // evictable anyway; protected residents only
@@ -696,9 +798,10 @@ GreedyScheduler::residentsTolerate(const sim::Server &srv,
         if (!res)
             continue;
         interference::IVector now = srv.contentionFor(t.workload);
+        const interference::IVector &add = added[size_t(t.socket)];
         double loss = 1.0;
         for (size_t i = 0; i < interference::kNumSources; ++i) {
-            double excess = now[i] + added[i] - res->tolerated[i];
+            double excess = now[i] + add[i] - res->tolerated[i];
             if (excess > 0.0)
                 loss *= std::max(0.05,
                                  1.0 - cfg_.slope_guess * excess);
@@ -916,15 +1019,19 @@ GreedyScheduler::allocateImpl(const Workload &w,
                 size_t p_idx = platformIndexOf(srv);
                 double interf;
                 if (cfg_.full_rescan) {
+                    sim::Server::SocketSnapshot snap =
+                        srv.socketSnapshot();
                     interf = est.interferenceMultiplier(
-                                 srv.contentionForNewcomer(),
+                                 snap.contention[size_t(pick.socket)],
                                  cfg_.slope_guess) *
                              srv.speedFactor();
                 } else {
                     const ServerCacheEntry &e = cachedState(srv);
-                    interf = est.interferenceMultiplier(
-                                 e.contention, cfg_.slope_guess) *
-                             e.speed;
+                    interf =
+                        est.interferenceMultiplier(
+                            e.socket_contention[size_t(pick.socket)],
+                            cfg_.slope_guess) *
+                        e.speed;
                 }
                 bool fixed = false;
                 for (size_t c = 0; c < est.scale_up_grid.size(); ++c) {
@@ -942,7 +1049,8 @@ GreedyScheduler::allocateImpl(const Workload &w,
                 if (!fixed)
                     continue;
             }
-            if (!residentsTolerate(srv, est, pick.cores, estimates))
+            if (!residentsTolerate(srv, est, pick.cores, pick.socket,
+                                   estimates))
                 continue;
 
             // Diminishing returns: when this node's marginal
@@ -1032,7 +1140,8 @@ GreedyScheduler::allocateImpl(const Workload &w,
             alloc.evictions.insert(alloc.evictions.end(),
                                    planned.begin(), planned.end());
             alloc.nodes.push_back({sid, pick.col, pick.cores,
-                                   pick.memory_gb, pick.perf});
+                                   pick.memory_gb, pick.perf,
+                                   pick.socket});
             node_perfs.push_back(pick.perf);
             zone_used[size_t(srv.faultZone())] = 1;
         }

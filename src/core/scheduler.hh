@@ -61,6 +61,7 @@
 #include "core/estimate.hh"
 #include "sim/cluster.hh"
 #include "stats/timing.hh"
+#include "topology/topology.hh"
 #include "workload/workload.hh"
 
 namespace quasar::core
@@ -74,6 +75,9 @@ struct AllocationNode
     int cores = 0;
     double memory_gb = 0.0;
     double predicted_node_perf = 0.0;
+    /** Home socket of the node's share (DESIGN.md §13); always 0 on
+     *  flat platforms, part of the replay contract otherwise. */
+    int socket = 0;
 };
 
 /** A complete allocation + assignment decision. */
@@ -136,6 +140,16 @@ struct SchedulerConfig
      * pick identical placements.
      */
     bool dirty_set = true;
+    /**
+     * Socket selection on multi-socket servers (DESIGN.md §13): pick
+     * the socket with the best predicted interference multiplier for
+     * the newcomer (ties: fewer homed cores, then lower id), spreading
+     * cache-hungry workloads across LLC domains and packing compatible
+     * ones. false falls back to topology-blind least-loaded homing
+     * (fewest homed cores) — the ablation leg of bench/topology. Both
+     * settings are identical on flat platforms (socket 0 always).
+     */
+    bool socket_aware = true;
 };
 
 /** Wall-clock timing of the scheduler's decision phases. */
@@ -234,8 +248,20 @@ class GreedyScheduler
         int cores = 0;
         double memory_gb = 0.0;
         double perf = 0.0;
+        int socket = 0;
         bool valid = false;
     };
+
+    /**
+     * Workload-independent signature of a server's ranking state:
+     * platform index + socket count, speed factor, and the per-socket
+     * newcomer-contention vectors (zero-padded to kMaxSockets so the
+     * flat single-socket partition is unchanged). Exactly the inputs
+     * of the quality expression, compared bitwise.
+     */
+    using OrderSig =
+        std::array<uint64_t, 2 + size_t(topology::kMaxSockets) *
+                                     interference::kNumSources>;
 
     /**
      * Per-server cached decision state, revalidated lazily against
@@ -244,7 +270,13 @@ class GreedyScheduler
     struct ServerCacheEntry
     {
         uint64_t version = ~uint64_t(0); ///< epoch the entry matches.
-        interference::IVector contention{}; ///< newcomer contention.
+        /** Per-socket newcomer contention ([0] is the flat view on a
+         *  single-socket platform). */
+        std::array<interference::IVector, topology::kMaxSockets>
+            socket_contention{};
+        /** Allocated cores homed per socket (socket tie-breaks). */
+        std::array<int, topology::kMaxSockets> socket_cores{};
+        uint8_t sockets = 1;
         int free_cores = 0;
         double free_mem = 0.0;
         double free_storage = 0.0;
@@ -261,20 +293,22 @@ class GreedyScheduler
 
     /**
      * One equivalence class of the maintained candidate order: every
-     * server whose workload-independent signature (platform index,
-     * speed factor, newcomer-contention vector — exactly the inputs of
-     * the quality expression) is *bitwise* equal. Members therefore
-     * have identical quality for every workload, so read time computes
-     * the per-workload factors once per bucket and emits members in
-     * ascending-id order — precisely rankedBefore's tie-break.
+     * server whose workload-independent signature (see OrderSig) is
+     * *bitwise* equal. Members therefore have identical quality for
+     * every workload, so read time computes the per-workload factors
+     * once per bucket and emits members in ascending-id order —
+     * precisely rankedBefore's tie-break. Topology enters only here,
+     * through the lazily-applied best-socket multiplier: the order
+     * structure itself stays workload-independent.
      */
     struct OrderBucket
     {
-        /** Bitwise signature: [platform_idx, speed, contention 0..7]. */
-        std::array<uint64_t, 2 + interference::kNumSources> sig{};
+        OrderSig sig{};
         size_t platform_idx = 0;
         double speed = 1.0;
-        interference::IVector contention{};
+        std::array<interference::IVector, topology::kMaxSockets>
+            socket_contention{};
+        uint8_t sockets = 1;
         /** Members, ascending (the rankedBefore tie-break order). */
         std::set<ServerId> ids;
         /** Position inside its level's bucket list (swap-removal). */
@@ -405,11 +439,15 @@ class GreedyScheduler
                             double perf_needed) const;
 
     /**
-     * Check that placing `cores` of w on srv does not push residents
-     * beyond their tolerated contention (returns false on violation).
+     * Check that placing `cores` of w on srv (homed on `socket`) does
+     * not push residents beyond their tolerated contention: each
+     * resident sees the newcomer's caused pressure at full strength on
+     * its own socket and cross-socket attenuated otherwise. Returns
+     * false on violation.
      */
     bool residentsTolerate(const sim::Server &srv,
                            const WorkloadEstimate &est, double cores,
+                           int socket,
                            const EstimateLookup &estimates) const;
 
     /** True when victim may be evicted to make room for w. */
@@ -434,9 +472,7 @@ class GreedyScheduler
     static constexpr uint32_t kNoBucket = ~uint32_t(0);
     struct SigHash
     {
-        size_t operator()(
-            const std::array<uint64_t,
-                             2 + interference::kNumSources> &k) const
+        size_t operator()(const OrderSig &k) const
         {
             uint64_t h = 0xCBF29CE484222325ULL;
             for (uint64_t v : k) {
@@ -450,9 +486,7 @@ class GreedyScheduler
     mutable std::vector<OrderBucket> order_buckets_;
     mutable std::vector<uint32_t> free_buckets_;
     /** Signature → bucket slot (point lookups only, never iterated). */
-    mutable std::unordered_map<
-        std::array<uint64_t, 2 + interference::kNumSources>, uint32_t,
-        SigHash>
+    mutable std::unordered_map<OrderSig, uint32_t, SigHash>
         bucket_of_sig_;
     /** Per-platform (speed-descending) level maps. */
     mutable std::vector<LevelMap> platform_order_;

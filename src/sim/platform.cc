@@ -95,6 +95,29 @@ ec2Platforms()
     };
 }
 
+Platform
+withSockets(Platform p, int sockets, int llc_domains_per_socket)
+{
+    p.topology = topology::Topology::symmetric(p.cores, sockets,
+                                               llc_domains_per_socket);
+    assert(p.topology.valid(p.cores));
+    return p;
+}
+
+std::vector<Platform>
+numaPlatforms()
+{
+    // Socket counts follow the part class: the single-socket box is a
+    // mid-range E-class machine, the 2-socket a Xeon-class J, and the
+    // 4-socket a large sub-NUMA-clustered (2 LLC domains per socket)
+    // consolidation host.
+    return {
+        withSockets(make("n1.flat", 8, 24, 1000, 0.90, 1.0), 1),
+        withSockets(make("n2.twosocket", 16, 48, 2000, 0.95, 1.2), 2),
+        withSockets(make("n4.quad", 32, 96, 4000, 1.00, 1.5), 4, 2),
+    };
+}
+
 const Platform &
 platformByName(const std::vector<Platform> &catalog,
                const std::string &name)

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "interference/source.hh"
+#include "topology/topology.hh"
 
 namespace quasar::sim
 {
@@ -34,6 +35,11 @@ struct Platform
      * 8-core box).
      */
     interference::IVector contention_capacity{};
+    /**
+     * Socket/LLC layout (DESIGN.md §13). Default is flat single-socket
+     * — bit-identical to the pre-topology model under replay.
+     */
+    topology::Topology topology{};
 
     /** Peak compute throughput: cores * core_perf. */
     double computeCapacity() const { return cores * core_perf; }
@@ -47,6 +53,20 @@ std::vector<Platform> localPlatforms();
 
 /** The fourteen EC2 dedicated instance types (small .. xlarge tiers). */
 std::vector<Platform> ec2Platforms();
+
+/**
+ * Clone a platform with a symmetric n-socket topology (n in
+ * [1, topology::kMaxSockets]); n = 1 keeps the flat model.
+ */
+Platform withSockets(Platform p, int sockets,
+                     int llc_domains_per_socket = 1);
+
+/**
+ * NUMA preset catalog: 1-, 2- and 4-socket boxes (the 4-socket one
+ * with two LLC domains per socket, a sub-NUMA-cluster part). Same
+ * capacity model as the other catalogs; only the topology differs.
+ */
+std::vector<Platform> numaPlatforms();
 
 /** Find a platform by name; aborts if absent. */
 const Platform &platformByName(const std::vector<Platform> &catalog,

@@ -10,6 +10,19 @@ namespace quasar::sim
 using interference::IVector;
 using interference::kNumSources;
 
+Server::Server(ServerId id, const Platform &platform, int fault_zone)
+    : id_(id), platform_(platform), fault_zone_(fault_zone)
+{
+    assert(platform_.topology.valid(platform_.cores));
+    num_sockets_ = platform_.topology.numSockets();
+    std::vector<IVector> caps =
+        platform_.topology.splitCapacity(platform_.contention_capacity);
+    for (int s = 0; s < num_sockets_; ++s)
+        socket_caps_[size_t(s)] = caps[size_t(s)];
+    cross_ = platform_.topology.cross_socket;
+    socket_ledger_.reset(num_sockets_);
+}
+
 bool
 Server::canFit(int cores, double memory_gb, double storage_gb) const
 {
@@ -29,7 +42,9 @@ Server::markDown()
     state_ = ServerState::Down;
     speed_factor_ = 1.0;
     displaced.swap(tasks_);
-    injected_ = interference::zeroVector();
+    for (IVector &v : injected_)
+        v = interference::zeroVector();
+    socket_ledger_.reset(num_sockets_);
     if (membership_)
         for (const TaskShare &t : displaced)
             membership_->taskRemoved(id_, t.workload);
@@ -82,6 +97,8 @@ Server::checkInvariants() const
             return false;
         if (tasks_[i].cores_used > double(tasks_[i].cores) + 1e-9)
             return false;
+        if (tasks_[i].socket < 0 || tasks_[i].socket >= num_sockets_)
+            return false;
         for (size_t j = i + 1; j < tasks_.size(); ++j)
             if (tasks_[i].workload == tasks_[j].workload)
                 return false;
@@ -94,9 +111,11 @@ Server::place(const TaskShare &share)
 {
     assert(share.workload != kInvalidWorkload);
     assert(!hosts(share.workload));
+    assert(share.socket >= 0 && share.socket < num_sockets_);
     assert(canFit(share.cores, share.memory_gb, share.storage_gb));
     bumpVersion();
     tasks_.push_back(share);
+    socket_ledger_.add(share.socket, share.caused, share.isolation);
     if (membership_)
         membership_->taskPlaced(id_, share.workload);
 }
@@ -111,6 +130,7 @@ Server::remove(WorkloadId w)
     if (it == tasks_.end())
         return false;
     bumpVersion();
+    socket_ledger_.sub(it->socket, it->caused, it->isolation);
     tasks_.erase(it);
     if (membership_)
         membership_->taskRemoved(id_, w);
@@ -137,7 +157,12 @@ Server::resize(WorkloadId w, int cores, double memory_gb)
     // Scale caused pressure with the new core share.
     if (t->cores > 0) {
         double ratio = double(cores) / double(t->cores);
+        IVector before = t->caused;
         t->caused = interference::scale(t->caused, ratio);
+        if (before != t->caused) {
+            socket_ledger_.sub(t->socket, before, t->isolation);
+            socket_ledger_.add(t->socket, t->caused, t->isolation);
+        }
     }
     t->cores = cores;
     t->memory_gb = memory_gb;
@@ -207,7 +232,10 @@ Server::storageAllocated() const
 IVector
 Server::rawPressureExcluding(WorkloadId w) const
 {
-    IVector total = injected_;
+    IVector total = injected_[0];
+    for (int s = 1; s < num_sockets_; ++s)
+        for (size_t i = 0; i < kNumSources; ++i)
+            total[i] += injected_[size_t(s)][i];
     for (const TaskShare &t : tasks_) {
         if (t.workload == w)
             continue;
@@ -220,11 +248,45 @@ Server::rawPressureExcluding(WorkloadId w) const
     return total;
 }
 
-IVector
-Server::contentionFor(WorkloadId w) const
+void
+Server::localPressureExcluding(
+    WorkloadId w,
+    std::array<IVector, topology::kMaxSockets> &local) const
 {
-    IVector raw = rawPressureExcluding(w);
-    const TaskShare *self = share(w);
+    for (int s = 0; s < num_sockets_; ++s)
+        local[size_t(s)] = injected_[size_t(s)];
+    for (const TaskShare &t : tasks_) {
+        if (t.workload == w)
+            continue;
+        IVector &home = local[size_t(t.socket)];
+        for (size_t i = 0; i < kNumSources; ++i) {
+            // Pressure inside a private partition stays there.
+            if (t.isolation[i] == 0.0)
+                home[i] += t.caused[i];
+        }
+    }
+}
+
+IVector
+Server::viewFromLocal(
+    const std::array<IVector, topology::kMaxSockets> &local,
+    int socket) const
+{
+    IVector raw = local[size_t(socket)];
+    for (int s = 0; s < num_sockets_; ++s) {
+        if (s == socket)
+            continue;
+        for (size_t i = 0; i < kNumSources; ++i)
+            raw[i] += cross_[i] * local[size_t(s)][i];
+    }
+    return raw;
+}
+
+IVector
+Server::normalizeAt(const IVector &raw, int socket,
+                    const TaskShare *self) const
+{
+    const IVector &caps = socket_caps_[size_t(socket)];
     IVector out;
     for (size_t i = 0; i < kNumSources; ++i) {
         // An isolated source is contention-free for this task.
@@ -232,10 +294,20 @@ Server::contentionFor(WorkloadId w) const
             out[i] = 0.0;
             continue;
         }
-        double cap = platform_.contention_capacity[i];
+        double cap = caps[i];
         out[i] = cap > 0.0 ? raw[i] / cap : 0.0;
     }
     return out;
+}
+
+IVector
+Server::contentionFor(WorkloadId w) const
+{
+    const TaskShare *self = share(w);
+    int socket = self ? self->socket : 0;
+    std::array<IVector, topology::kMaxSockets> local;
+    localPressureExcluding(w, local);
+    return normalizeAt(viewFromLocal(local, socket), socket, self);
 }
 
 IVector
@@ -244,19 +316,85 @@ Server::contentionForNewcomer() const
     return contentionFor(kInvalidWorkload);
 }
 
+IVector
+Server::contentionForNewcomerAt(int socket) const
+{
+    assert(socket >= 0 && socket < num_sockets_);
+    std::array<IVector, topology::kMaxSockets> local;
+    localPressureExcluding(kInvalidWorkload, local);
+    return normalizeAt(viewFromLocal(local, socket), socket, nullptr);
+}
+
+Server::SocketSnapshot
+Server::socketSnapshot() const
+{
+    SocketSnapshot snap;
+    snap.sockets = num_sockets_;
+    std::array<IVector, topology::kMaxSockets> local;
+    localPressureExcluding(kInvalidWorkload, local);
+    for (int s = 0; s < num_sockets_; ++s)
+        snap.contention[size_t(s)] =
+            normalizeAt(viewFromLocal(local, s), s, nullptr);
+    for (const TaskShare &t : tasks_)
+        snap.cores_homed[size_t(t.socket)] += t.cores;
+    return snap;
+}
+
+int
+Server::coresHomed(int socket) const
+{
+    int n = 0;
+    for (const TaskShare &t : tasks_)
+        if (t.socket == socket)
+            n += t.cores;
+    return n;
+}
+
+IVector
+Server::maintainedSocketPressure(int socket) const
+{
+    IVector v = socket_ledger_.local(socket);
+    for (size_t i = 0; i < kNumSources; ++i)
+        v[i] += injected_[size_t(socket)][i];
+    return v;
+}
+
+IVector
+Server::freshSocketPressure(int socket) const
+{
+    std::array<IVector, topology::kMaxSockets> local;
+    localPressureExcluding(kInvalidWorkload, local);
+    return local[size_t(socket)];
+}
+
+IVector
+Server::rawPressure() const
+{
+    return rawPressureExcluding(kInvalidWorkload);
+}
+
 void
 Server::injectPressure(const IVector &normalized)
 {
+    injectPressureAt(0, normalized);
+}
+
+void
+Server::injectPressureAt(int socket, const IVector &normalized)
+{
+    assert(socket >= 0 && socket < num_sockets_);
     bumpVersion();
+    const IVector &caps = socket_caps_[size_t(socket)];
     for (size_t i = 0; i < kNumSources; ++i)
-        injected_[i] += normalized[i] * platform_.contention_capacity[i];
+        injected_[size_t(socket)][i] += normalized[i] * caps[i];
 }
 
 void
 Server::clearInjectedPressure()
 {
     bumpVersion();
-    injected_ = interference::zeroVector();
+    for (IVector &v : injected_)
+        v = interference::zeroVector();
 }
 
 bool
@@ -267,7 +405,16 @@ Server::setIsolation(WorkloadId w, interference::Source source,
     if (!t)
         return false;
     bumpVersion();
-    t->isolation[static_cast<size_t>(source)] = isolated ? 1.0 : 0.0;
+    double next = isolated ? 1.0 : 0.0;
+    double prev = t->isolation[static_cast<size_t>(source)];
+    if (prev != next) {
+        // The grant moves the share's pressure into (or out of) its
+        // private partition; mirror that in the maintained ledger.
+        double delta = t->caused[static_cast<size_t>(source)];
+        socket_ledger_.adjustSource(t->socket, source,
+                                    isolated ? -delta : delta);
+    }
+    t->isolation[static_cast<size_t>(source)] = next;
     return true;
 }
 

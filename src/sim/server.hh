@@ -7,12 +7,14 @@
 
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "common/types.hh"
 #include "interference/source.hh"
 #include "sim/change_journal.hh"
 #include "sim/platform.hh"
+#include "topology/ledger.hh"
 
 namespace quasar::sim
 {
@@ -65,14 +67,19 @@ struct TaskShare
      * charged by the performance model.
      */
     interference::IVector isolation{};
+    /**
+     * Home socket of the share (DESIGN.md §13): its caused pressure
+     * lands here at full strength and is seen cross-socket attenuated.
+     * Always 0 on a flat (single-socket) platform.
+     */
+    int socket = 0;
 };
 
 /** One machine in the cluster. */
 class Server
 {
   public:
-    Server(ServerId id, const Platform &platform, int fault_zone = 0)
-        : id_(id), platform_(platform), fault_zone_(fault_zone) {}
+    Server(ServerId id, const Platform &platform, int fault_zone = 0);
 
     ServerId id() const { return id_; }
     const Platform &platform() const { return platform_; }
@@ -173,20 +180,29 @@ class Server
     /** @name Interference */
     /// @{
     /**
-     * Normalized contention (pressure / platform capacity) seen by
-     * workload w: the sum of all co-runners' caused pressure plus any
-     * injected pressure, excluding w's own contribution.
+     * Normalized contention seen by workload w at its home socket:
+     * co-runners' caused pressure (full strength same-socket,
+     * attenuated cross-socket) plus any injected pressure, excluding
+     * w's own contribution, over the socket's capacity. On a flat
+     * platform this is bit-identical to the pre-topology flat view.
      */
     interference::IVector contentionFor(WorkloadId w) const;
 
-    /** Contention a prospective task would see if placed here now. */
+    /** Contention a prospective task would see on socket 0. */
     interference::IVector contentionForNewcomer() const;
 
+    /** Contention a prospective task would see on a given socket. */
+    interference::IVector contentionForNewcomerAt(int socket) const;
+
     /**
-     * Inject raw pressure (used for microbenchmark probes); intensity
-     * is normalized, i.e. scaled by platform capacity internally.
+     * Inject raw pressure on socket 0 (microbenchmark probes);
+     * intensity is normalized, i.e. scaled by the socket's capacity
+     * internally (== platform capacity on a flat machine).
      */
     void injectPressure(const interference::IVector &normalized);
+    /** Inject pressure homed on a specific socket. */
+    void injectPressureAt(int socket,
+                          const interference::IVector &normalized);
     void clearInjectedPressure();
 
     /**
@@ -195,6 +211,63 @@ class Server
      */
     bool setIsolation(WorkloadId w, interference::Source source,
                       bool isolated);
+    /// @}
+
+    /** @name Topology (DESIGN.md §13) */
+    /// @{
+    int numSockets() const { return num_sockets_; }
+    /** Per-socket slice of the platform's contention capacity. */
+    const interference::IVector &socketCapacity(int socket) const
+    {
+        return socket_caps_[size_t(socket)];
+    }
+    /** Per-source cross-socket attenuation factors. */
+    const interference::IVector &crossSocketFactor() const
+    {
+        return cross_;
+    }
+    /** Allocated cores of resident tasks homed on a socket. */
+    int coresHomed(int socket) const;
+
+    /**
+     * One ordered ledger walk producing every per-socket newcomer
+     * view plus homed core counts — the scheduler's refresh unit.
+     * contention[0] is bitwise-equal to contentionForNewcomer().
+     */
+    struct SocketSnapshot
+    {
+        int sockets = 1;
+        std::array<interference::IVector, topology::kMaxSockets>
+            contention{};
+        std::array<int, topology::kMaxSockets> cores_homed{};
+    };
+    SocketSnapshot socketSnapshot() const;
+
+    /**
+     * Maintained per-socket raw pressure (incremental ledger plus
+     * injected pressure) — reporting and the verify conservation
+     * sweep. Decision paths never read it: they recompute fresh
+     * ordered walks so add/subtract drift cannot touch replay.
+     */
+    interference::IVector maintainedSocketPressure(int socket) const;
+    /** Fresh recompute of the same quantity (conservation oracle). */
+    interference::IVector freshSocketPressure(int socket) const;
+    /** Fresh flat raw-pressure ledger (sum over sockets). */
+    interference::IVector rawPressure() const;
+
+#ifdef QUASAR_VERIFY
+    /**
+     * Corrupt the maintained socket ledger without touching any task
+     * share — lets the verify death test prove the conservation sweep
+     * catches a desynchronized ledger.
+     */
+    void desyncSocketLedgerForTest(int socket,
+                                   interference::Source src,
+                                   double raw_delta)
+    {
+        socket_ledger_.adjustSource(socket, src, raw_delta);
+    }
+#endif
     /// @}
 
     /** @name Measured usage (for utilization reporting) */
@@ -213,6 +286,31 @@ class Server
     TaskShare *findShare(WorkloadId w);
     interference::IVector rawPressureExcluding(WorkloadId w) const;
 
+    /**
+     * Per-socket local raw pressure in ledger order (injected first,
+     * then every share homed where it sits), excluding w. The single
+     * sequence of floating-point adds all contention reads share, so
+     * the flat (single-socket) case reproduces the pre-topology
+     * arithmetic bit for bit.
+     */
+    void localPressureExcluding(
+        WorkloadId w,
+        std::array<interference::IVector, topology::kMaxSockets>
+            &local) const;
+
+    /** Raw pressure visible from one socket: local plus attenuated
+     *  remote contributions. */
+    interference::IVector viewFromLocal(
+        const std::array<interference::IVector,
+                         topology::kMaxSockets> &local,
+        int socket) const;
+
+    /** Normalize a raw view by the socket capacity, zeroing sources
+     *  the (optional) reading share holds an isolation grant on. */
+    interference::IVector normalizeAt(const interference::IVector &raw,
+                                      int socket,
+                                      const TaskShare *self) const;
+
     /** Note a placement-relevant mutation (see version()). */
     void bumpVersion()
     {
@@ -230,7 +328,18 @@ class Server
     ChangeJournal *journal_ = nullptr;
     MembershipListener *membership_ = nullptr;
     std::vector<TaskShare> tasks_;
-    interference::IVector injected_ = interference::zeroVector();
+    /** Injected pressure by home socket ([0] on flat machines). */
+    std::array<interference::IVector, topology::kMaxSockets>
+        injected_{};
+    /** @name Topology state (fixed at construction) */
+    /// @{
+    int num_sockets_ = 1;
+    std::array<interference::IVector, topology::kMaxSockets>
+        socket_caps_{};
+    interference::IVector cross_{};
+    /// @}
+    /** Maintained per-socket ledger (see maintainedSocketPressure). */
+    topology::SocketLedger socket_ledger_;
 };
 
 } // namespace quasar::sim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Maintained per-socket contention ledger.
+ *
+ * Server keeps one of these up to date through every placement-
+ * relevant mutation (place/remove/resize/isolation/inject/markDown):
+ * the isolation-masked raw pressure homed on each socket. It is the
+ * *mirror*, not the source of truth — decision-path reads recompute
+ * fresh ordered task walks so floating-point add/subtract drift can
+ * never leak into the bit-identical replay contract. The ledger serves
+ * per-socket reporting and the QUASAR_VERIFY conservation sweep
+ * (Σ socket ledgers == the server's flat pressure ledger, no negative
+ * pressure), which catches any mutation path that forgets to maintain
+ * it — exactly the bug class the change-epoch audit catches for the
+ * scheduler index.
+ */
+
+#pragma once
+
+#include <array>
+
+#include "interference/source.hh"
+#include "topology/topology.hh"
+
+namespace quasar::topology
+{
+
+/** Per-socket isolation-masked raw pressure, incrementally held. */
+class SocketLedger
+{
+  public:
+    /** Reset to all-zero pressure over the given socket count. */
+    void reset(int sockets)
+    {
+        sockets_ = sockets;
+        for (auto &v : local_)
+            v = interference::zeroVector();
+    }
+
+    int sockets() const { return sockets_; }
+
+    /** Pressure homed on socket s (not normalized by capacity). */
+    const interference::IVector &local(int s) const
+    {
+        return local_[size_t(s)];
+    }
+
+    /** Account a share's caused pressure landing on its home socket
+     *  (isolated sources stay inside their partition). */
+    void add(int s, const interference::IVector &caused,
+             const interference::IVector &isolation)
+    {
+        for (size_t i = 0; i < interference::kNumSources; ++i)
+            // The isolation mask is binary (0.0 or 1.0) by
+            // construction, never computed.
+            if (isolation[i] == 0.0) // quasar-lint: allow(float-eq)
+                local_[size_t(s)][i] += caused[i];
+    }
+
+    /** Remove a share's contribution (exact values it was added with). */
+    void sub(int s, const interference::IVector &caused,
+             const interference::IVector &isolation)
+    {
+        for (size_t i = 0; i < interference::kNumSources; ++i)
+            // Same binary mask as add(): exact compare is the point.
+            if (isolation[i] == 0.0) // quasar-lint: allow(float-eq)
+                local_[size_t(s)][i] -= caused[i];
+    }
+
+    /** Single-source adjustment (isolation grant/revoke). */
+    void adjustSource(int s, interference::Source src, double delta)
+    {
+        local_[size_t(s)][size_t(src)] += delta;
+    }
+
+    /** Sum over sockets: the server's flat raw-pressure ledger. */
+    interference::IVector total() const
+    {
+        interference::IVector t = local_[0];
+        for (int s = 1; s < sockets_; ++s)
+            for (size_t i = 0; i < interference::kNumSources; ++i)
+                t[i] += local_[size_t(s)][i];
+        return t;
+    }
+
+  private:
+    std::array<interference::IVector, kMaxSockets> local_{};
+    int sockets_ = 1;
+};
+
+} // namespace quasar::topology

@@ -1,0 +1,111 @@
+#include "topology/topology.hh"
+
+#include <cassert>
+
+namespace quasar::topology
+{
+
+using interference::IVector;
+using interference::Source;
+
+bool
+isMachineGlobal(Source s)
+{
+    return s == Source::DiskIO || s == Source::Network;
+}
+
+IVector
+Topology::defaultCrossSocket()
+{
+    IVector v = interference::zeroVector();
+    // Memory bandwidth crosses the interconnect at half strength; LLC
+    // and prefetcher pressure leak a little through shared directories
+    // and snoop traffic; core-private resources not at all; disk and
+    // network are machine-global.
+    v[size_t(Source::MemoryBw)] = 0.5;
+    v[size_t(Source::L1ICache)] = 0.0;
+    v[size_t(Source::LLCache)] = 0.1;
+    v[size_t(Source::DiskIO)] = 1.0;
+    v[size_t(Source::Network)] = 1.0;
+    v[size_t(Source::L2Cache)] = 0.0;
+    v[size_t(Source::Cpu)] = 0.0;
+    v[size_t(Source::Prefetch)] = 0.1;
+    return v;
+}
+
+Topology
+Topology::single()
+{
+    return Topology{};
+}
+
+Topology
+Topology::symmetric(int total_cores, int num_sockets,
+                    int llc_domains_per_socket)
+{
+    assert(num_sockets >= 1 && num_sockets <= kMaxSockets);
+    assert(total_cores >= num_sockets);
+    assert(llc_domains_per_socket >= 1);
+    Topology t;
+    if (num_sockets == 1)
+        return t; // flat: keep the default (bit-identical) model
+    int base = total_cores / num_sockets;
+    int rem = total_cores % num_sockets;
+    for (int s = 0; s < num_sockets; ++s) {
+        SocketDesc d;
+        d.cores = base + (s < rem ? 1 : 0);
+        d.llc_domains = llc_domains_per_socket;
+        t.sockets.push_back(d);
+    }
+    return t;
+}
+
+std::vector<IVector>
+Topology::splitCapacity(const IVector &total) const
+{
+    std::vector<IVector> caps;
+    if (flat()) {
+        // Exact copy: the flat path must stay bitwise identical to
+        // the pre-topology model.
+        caps.push_back(total);
+        return caps;
+    }
+    const double n = double(sockets.size());
+    for (const SocketDesc &d : sockets) {
+        IVector cap = interference::zeroVector();
+        for (size_t i = 0; i < interference::kNumSources; ++i) {
+            if (isMachineGlobal(Source(i))) {
+                cap[i] = total[i];
+                continue;
+            }
+            cap[i] = total[i] / n;
+            if (Source(i) == Source::LLCache && d.llc_domains > 1)
+                cap[i] /= double(d.llc_domains);
+        }
+        caps.push_back(cap);
+    }
+    return caps;
+}
+
+bool
+Topology::valid(int platform_cores) const
+{
+    if (sockets.empty())
+        return true;
+    if (int(sockets.size()) > kMaxSockets)
+        return false;
+    int cores = 0;
+    for (const SocketDesc &d : sockets) {
+        if (d.cores <= 0 || d.llc_domains < 1)
+            return false;
+        cores += d.cores;
+    }
+    if (cores != platform_cores)
+        return false;
+    for (size_t i = 0; i < interference::kNumSources; ++i)
+        if (!(cross_socket[i] >= 0.0) || cross_socket[i] > 1.0)
+            return false;
+    return true;
+}
+
+} // namespace quasar::topology

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Server socket/LLC topology: the descriptor that turns the flat
+ * per-server contention model into a locality-dependent one.
+ *
+ * A Platform optionally carries a Topology: sockets → LLC domains →
+ * cores. The platform's contention capacity is split across sockets
+ * (splitCapacity), and pressure caused by a resident task lands on its
+ * *home* socket at full strength while remote sockets see it
+ * attenuated by a per-source cross-socket factor:
+ *
+ *   view_s[i] = local_s[i] + cross[i] * Σ_{s' != s} local_{s'}[i]
+ *
+ * Cache-side sources (L1I, L2, Cpu) do not cross the socket boundary
+ * at all; memory bandwidth partially does (shared interconnect); disk
+ * and network are machine-global (full capacity per socket, factor 1),
+ * which keeps their behaviour identical to the flat model.
+ *
+ * The default (empty `sockets`) is a flat single-socket machine whose
+ * arithmetic is bit-identical to the pre-topology model — the replay
+ * contract (DESIGN.md §13) depends on that.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "interference/source.hh"
+
+namespace quasar::topology
+{
+
+/** Hard cap on sockets per server (sizes the fixed-width scheduler
+ *  order signature; real boxes are 1/2/4-socket). */
+inline constexpr int kMaxSockets = 4;
+
+/** One socket: a set of cores sharing llc_domains last-level caches. */
+struct SocketDesc
+{
+    int cores = 0;
+    /** LLC slices on the socket (CoD/sub-NUMA clusters); each extra
+     *  domain concentrates cache pressure into a smaller slice, so the
+     *  per-socket LLC capacity is divided by this count. */
+    int llc_domains = 1;
+};
+
+/** Socket/LLC layout of one platform. Empty sockets = flat machine. */
+struct Topology
+{
+    std::vector<SocketDesc> sockets;
+    /** Per-source attenuation of pressure seen from a remote socket,
+     *  in [0, 1]: 0 = fully socket-private, 1 = machine-global. */
+    interference::IVector cross_socket = defaultCrossSocket();
+
+    int numSockets() const
+    {
+        return sockets.empty() ? 1 : int(sockets.size());
+    }
+
+    /** True for the flat (pre-topology, single-socket) model. */
+    bool flat() const { return numSockets() == 1; }
+
+    /**
+     * Split a platform's contention capacity into per-socket capacity
+     * vectors. Machine-global sources (DiskIO, Network) keep the full
+     * capacity on every socket; the rest divide evenly by socket count
+     * and LLCache additionally by the socket's llc_domains. A flat
+     * topology returns the input unchanged (bitwise), preserving the
+     * replay contract.
+     */
+    std::vector<interference::IVector>
+    splitCapacity(const interference::IVector &total) const;
+
+    /** Sanity: 1..kMaxSockets sockets, positive cores per socket and
+     *  at least one LLC domain each, cores summing to platform_cores,
+     *  cross factors within [0, 1]. Flat is always valid. */
+    bool valid(int platform_cores) const;
+
+    /** The attenuation factors described in the file header. */
+    static interference::IVector defaultCrossSocket();
+
+    /** Explicit flat topology (identical behaviour to the default). */
+    static Topology single();
+
+    /**
+     * Symmetric n-socket layout over total_cores (n in [1,
+     * kMaxSockets]); any core remainder goes to the lower sockets.
+     */
+    static Topology symmetric(int total_cores, int num_sockets,
+                              int llc_domains_per_socket = 1);
+};
+
+/** True for sources that are machine-global rather than per-socket
+ *  (their capacity is not split and their cross factor is 1). */
+bool isMachineGlobal(interference::Source s);
+
+} // namespace quasar::topology

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -46,6 +47,7 @@ describeAllocation(const std::optional<core::Allocation> &a)
     for (const core::AllocationNode &n : a->nodes)
         os << "  node server=" << n.server << " col=" << n.scale_up_col
            << " cores=" << n.cores << " mem=" << n.memory_gb
+           << " socket=" << n.socket
            << " perf=" << n.predicted_node_perf << "\n";
     for (const auto &[sid, wid] : a->evictions)
         os << "  evict server=" << sid << " workload=" << wid << "\n";
@@ -73,6 +75,7 @@ sameAllocation(const std::optional<core::Allocation> &a,
         // bit-identical, not merely close.
         if (x.server != y.server || x.scale_up_col != y.scale_up_col ||
             x.cores != y.cores || x.memory_gb != y.memory_gb ||
+            x.socket != y.socket ||
             x.predicted_node_perf != y.predicted_node_perf)
             return false;
     }
@@ -104,6 +107,53 @@ sweepCluster(const sim::Cluster &cluster,
                  "capacity, duplicate share, share on a down "
                  "machine, usage above allocation, or an illegal "
                  "speed factor)");
+        // Socket-ledger conservation (DESIGN.md §13): the maintained
+        // per-socket ledger is a pure mirror of the task shares, so
+        // every socket must match a fresh ordered recompute (within a
+        // drift epsilon — the mirror accumulates add/subtract
+        // round-off by design, which is exactly why decision paths
+        // never read it), no component may run negative, and the
+        // sockets must sum to the flat raw-pressure ledger.
+        {
+            interference::IVector summed{};
+            for (int sock = 0; sock < srv.numSockets(); ++sock) {
+                const interference::IVector maintained =
+                    srv.maintainedSocketPressure(sock);
+                const interference::IVector fresh =
+                    srv.freshSocketPressure(sock);
+                for (size_t i = 0; i < interference::kNumSources;
+                     ++i) {
+                    if (maintained[i] < -1e-6)
+                        fail("socket ledger negative on server " +
+                             std::to_string(s) + " socket " +
+                             std::to_string(sock) + " source " +
+                             std::to_string(i) + ": " +
+                             std::to_string(maintained[i]));
+                    const double tol =
+                        1e-6 + 1e-6 * std::abs(fresh[i]);
+                    if (std::abs(maintained[i] - fresh[i]) > tol)
+                        fail("socket ledger desynchronized on "
+                             "server " +
+                             std::to_string(s) + " socket " +
+                             std::to_string(sock) + " source " +
+                             std::to_string(i) + ": maintained " +
+                             std::to_string(maintained[i]) +
+                             " vs fresh " + std::to_string(fresh[i]));
+                    summed[i] += maintained[i];
+                }
+            }
+            const interference::IVector raw = srv.rawPressure();
+            for (size_t i = 0; i < interference::kNumSources; ++i) {
+                const double tol = 1e-6 + 1e-6 * std::abs(raw[i]);
+                if (std::abs(summed[i] - raw[i]) > tol)
+                    fail("socket ledger sum diverges from the flat "
+                         "raw-pressure ledger on server " +
+                         std::to_string(s) + " source " +
+                         std::to_string(i) + ": sum " +
+                         std::to_string(summed[i]) + " vs raw " +
+                         std::to_string(raw[i]));
+            }
+        }
         for (const sim::TaskShare &t : srv.tasks()) {
             hosting[t.workload].push_back(ServerId(s));
             if (registry) {

@@ -104,6 +104,7 @@ const char *const kDecisionDirs[] = {
     "src/baselines/",
     "src/churn/",
     "src/trace/",
+    "src/topology/",
     "fixture/decision/",
 };
 
