@@ -3,9 +3,10 @@
 #
 #   1. Configure + build the default tree and run the full ctest
 #      suite (the repo's tier-1 gate).
-#   2. Build the test binary and the fault-recovery bench with
-#      -fsanitize=address,undefined (QUASAR_SANITIZE=ON) and run
-#      both; any sanitizer report fails the script.
+#   2. Build the test binary, the fault-recovery bench and the
+#      quasar-lint analyzer with -fsanitize=address,undefined
+#      (QUASAR_SANITIZE=ON) and run all three (the analyzer runs its
+#      fixture self-test); any sanitizer report fails the script.
 #   3. Build Release and run the decision-path benchmark: proves the
 #      incremental scheduler picks identical placements to the
 #      full-rescan path and fails if the 200-server schedule-call
@@ -50,17 +51,26 @@
 #      BENCH_topology.json (refresh with `bench/topology --smoke`
 #      when a shift is intentional).
 #   8. Static analysis + verification soak:
-#      a. tools/quasar-lint over src/ bench/ tests/ examples/ tools/
-#         (determinism + hygiene rules, see DESIGN.md §10), after
-#         running its fixture self-test.
-#      b. clang-tidy with the repo .clang-tidy over src/ — gated on
+#      a. tools/quasar-lint (the structure-aware analyzer: token
+#         rules plus mutation-journaling, decision-purity and
+#         layering/include-cycle — see DESIGN.md §10) over src/
+#         bench/ tests/ examples/ tools/ in --json mode against the
+#         committed shrink-only baseline: any NEW finding fails, and
+#         any baseline entry that no longer fires fails too. The
+#         fixture self-test runs first.
+#      b. clang-tidy with the repo .clang-tidy over src/, reading
+#         real flags/defines from build/compile_commands.json
+#         (CMAKE_EXPORT_COMPILE_COMMANDS is on by default) — gated on
 #         clang-tidy being installed (the reference image ships gcc
 #         only; the stage is skipped with a notice when absent).
 #      c. A -DQUASAR_VERIFY=ON -DQUASAR_WERROR=ON build running the
 #         chaos (test_faults) and churn-equivalence suites plus the
-#         verify counters tests: every dirty_set/cached decision is
-#         shadow-checked against full_rescan, every driver tick
-#         sweeps cluster invariants, and any warning is an error.
+#         verify counters tests and the per-mutator death-test suite
+#         generated from src/verify/journaled_mutators.def: every
+#         dirty_set/cached decision is shadow-checked against
+#         full_rescan, every driver tick sweeps cluster invariants,
+#         every listed mutator provably trips the index audit when
+#         unjournaled, and any warning is an error.
 #
 # Usage: ci/check.sh [jobs]   (defaults to nproc)
 set -euo pipefail
@@ -73,12 +83,15 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== sanitizer: ASan+UBSan build of tests + fault bench =="
+echo "== sanitizer: ASan+UBSan build of tests + fault bench + lint =="
 cmake -B build-asan -S . -DQUASAR_SANITIZE=ON \
       -DCMAKE_BUILD_TYPE=Debug >/dev/null
-cmake --build build-asan -j "$JOBS" --target quasar_tests fault_recovery
+cmake --build build-asan -j "$JOBS" \
+      --target quasar_tests fault_recovery quasar_lint
 ./build-asan/tests/quasar_tests
 ./build-asan/bench/fault_recovery
+./build-asan/tools/quasar_lint --self-test \
+    --fixture=tools/quasar-lint/fixture
 
 echo "== decision-path: Release bench + regression gate =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
@@ -128,14 +141,23 @@ fi
     --out=build-release/topology_smoke.json \
     "${TOPOLOGY_BASELINE_ARGS[@]}"
 
-echo "== lint: determinism + hygiene rules over the tree =="
-cmake --build build -j "$JOBS" --target quasar_lint
+echo "== lint: structure-aware analyzer vs committed baseline =="
+cmake --build build -j "$JOBS" --target quasar_lint lint_analyzer_tests
 ./build/tools/quasar_lint --self-test --fixture=tools/quasar-lint/fixture
-./build/tools/quasar_lint src bench tests examples tools
+./build/tools/lint_analyzer_tests
+# The baseline is shrink-only: fresh findings fail, and so do stale
+# entries (fix the code or shrink the baseline — never grow it).
+./build/tools/quasar_lint --json \
+    --baseline=tools/quasar-lint/baseline.json \
+    src bench tests examples tools
 
 echo "== clang-tidy: curated .clang-tidy over src/ =="
 if command -v clang-tidy >/dev/null 2>&1; then
-    # The default tree already produces compile_commands.json.
+    if [ ! -f build/compile_commands.json ]; then
+        echo "build/compile_commands.json missing despite" \
+             "CMAKE_EXPORT_COMPILE_COMMANDS; failing" >&2
+        exit 1
+    fi
     find src -name '*.cc' -print0 |
         xargs -0 -P "$JOBS" -n 8 clang-tidy -p build --quiet
 else
@@ -160,6 +182,6 @@ cmake --build build-verify -j "$JOBS" --target quasar_tests
 # only arms in this QUASAR_VERIFY build), socket selection, and the
 # flat-topology replay-equivalence sweep.
 ./build-verify/tests/quasar_tests \
-    --gtest_filter='FaultRecovery.*:FaultInjector.*:Chaos.*:ServerHealth.*:AdmissionRetry.*:DecisionPath.*:ChangeJournal.*:RankingOrder.*:Verify.*:Trace*.*:ChurnClosedLoop.*:HostingIndex.*:Overload*.*:ScalingPolicy.*:AdmissionQueue.*:Topology*.*:Socket*.*'
+    --gtest_filter='FaultRecovery.*:FaultInjector.*:Chaos.*:ServerHealth.*:AdmissionRetry.*:DecisionPath.*:ChangeJournal.*:RankingOrder.*:Verify.*:MutatorDeathSync.*:Trace*.*:ChurnClosedLoop.*:HostingIndex.*:Overload*.*:ScalingPolicy.*:AdmissionQueue.*:Topology*.*:Socket*.*'
 
 echo "== all checks passed =="

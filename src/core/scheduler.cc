@@ -13,6 +13,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+// Sanctioned upward edge: the shadow oracle hooks in under
+// QUASAR_VERIFY only. quasar-lint: allow(layering)
 #include "verify/verify.hh"
 #endif
 

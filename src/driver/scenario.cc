@@ -7,6 +7,8 @@
 #include "workload/queueing.hh"
 
 #ifdef QUASAR_VERIFY
+// Sanctioned upward edge: replay sweeps hook in under QUASAR_VERIFY
+// only. quasar-lint: allow(layering)
 #include "verify/verify.hh"
 #endif
 

@@ -186,6 +186,8 @@ Server::share(WorkloadId w) const
 TaskShare *
 Server::findShare(WorkloadId w)
 {
+    // Mutable-reference escape hatch: every caller that writes through
+    // the returned share bumps. quasar-lint: allow(mutation-journaling)
     for (TaskShare &t : tasks_)
         if (t.workload == w)
             return &t;
@@ -260,7 +262,9 @@ Server::localPressureExcluding(
             continue;
         IVector &home = local[size_t(t.socket)];
         for (size_t i = 0; i < kNumSources; ++i) {
-            // Pressure inside a private partition stays there.
+            // Pressure inside a private partition stays there. The
+            // mask holds exact sentinels (0.0/1.0 assigned verbatim),
+            // never arithmetic. quasar-lint: allow(decision-purity)
             if (t.isolation[i] == 0.0)
                 home[i] += t.caused[i];
         }
@@ -289,7 +293,9 @@ Server::normalizeAt(const IVector &raw, int socket,
     const IVector &caps = socket_caps_[size_t(socket)];
     IVector out;
     for (size_t i = 0; i < kNumSources; ++i) {
-        // An isolated source is contention-free for this task.
+        // An isolated source is contention-free for this task. Exact
+        // sentinel compare, same as localPressureExcluding.
+        // quasar-lint: allow(decision-purity)
         if (self && self->isolation[i] != 0.0) {
             out[i] = 0.0;
             continue;

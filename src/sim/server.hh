@@ -265,6 +265,8 @@ class Server
                                    interference::Source src,
                                    double raw_delta)
     {
+        // Deliberately unjournaled — the whole point is to desync.
+        // quasar-lint: allow(mutation-journaling)
         socket_ledger_.adjustSource(socket, src, raw_delta);
     }
 #endif

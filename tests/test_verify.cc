@@ -166,4 +166,99 @@ TEST(Verify, MutationWithoutNoteAbortsIndexAudit)
         "not journaled");
 }
 
+// ---------------------------------------------------------------
+// Per-mutator death tests, generated from the shared mutator list
+// (src/verify/journaled_mutators.def). The static analyzer derives
+// the same list from the Server class scan (ctest: lint_mutator_sync)
+// so the two enforcement layers cannot silently diverge; this suite
+// proves each listed mutator actually trips the runtime audit when
+// its journal note is suppressed.
+// ---------------------------------------------------------------
+
+namespace
+{
+
+/** The workload placed ahead of time for share-targeting mutators. */
+constexpr WorkloadId kResidentWorkload = 1;
+
+sim::TaskShare
+smallShare(WorkloadId w)
+{
+    sim::TaskShare s;
+    s.workload = w;
+    s.cores = 1;
+    s.memory_gb = 1.0;
+    s.storage_gb = 1.0;
+    return s;
+}
+
+/** Apply the named mutation to `srv`. FAILs on an unknown name, so a
+ *  .def entry with no dispatch arm here cannot pass silently. */
+void
+applyMutatorByName(sim::Server &srv, const std::string &name)
+{
+    if (name == "clearInjectedPressure") {
+        srv.clearInjectedPressure();
+    } else if (name == "degrade") {
+        ASSERT_TRUE(srv.degrade(0.5));
+    } else if (name == "injectPressureAt") {
+        srv.injectPressureAt(0, interference::IVector{});
+    } else if (name == "markDown") {
+        (void)srv.markDown();
+    } else if (name == "place") {
+        srv.place(smallShare(kResidentWorkload + 1));
+    } else if (name == "recover") {
+        srv.recover();
+    } else if (name == "remove") {
+        ASSERT_TRUE(srv.remove(kResidentWorkload));
+    } else if (name == "resize") {
+        ASSERT_TRUE(srv.resize(kResidentWorkload, 2, 2.0));
+    } else if (name == "setIsolation") {
+        ASSERT_TRUE(srv.setIsolation(
+            kResidentWorkload,
+            static_cast<interference::Source>(0), true));
+    } else {
+        FAIL() << "journaled_mutators.def lists '" << name
+               << "' but applyMutatorByName has no dispatch arm "
+                  "for it";
+    }
+}
+
+/** Prime the incremental index, detach the journal, apply the named
+ *  mutation and assert the next audit aborts on the stale entry. */
+void
+mutatorTripsAudit(const std::string &name)
+{
+    sim::Cluster cluster = sim::Cluster::localCluster();
+    core::GreedyScheduler dirty(cluster); // dirty_set default
+    core::WorkloadEstimate est;
+    est.platform_factor.assign(cluster.catalog().size(), 1.0);
+
+    sim::Server &srv = cluster.server(5);
+    // Share-targeting mutators need a resident share; place it while
+    // the journal is still attached so the setup itself is coherent.
+    if (name == "remove" || name == "resize" ||
+        name == "setIsolation")
+        srv.place(smallShare(kResidentWorkload));
+
+    (void)dirty.rankedCandidates(est); // primes index + order
+    srv.attachJournal(nullptr);
+    applyMutatorByName(srv, name); // version bump, no journal note
+    if (::testing::Test::HasFatalFailure())
+        return;
+    EXPECT_DEATH(
+        {
+            (void)dirty.rankedCandidates(est);
+            dirty.auditIndexCoherenceNow();
+        },
+        "not journaled");
+}
+
+} // namespace
+
+#define QUASAR_JOURNALED_MUTATOR(name)                                 \
+    TEST(MutatorDeathSync, name) { mutatorTripsAudit(#name); }
+#include "verify/journaled_mutators.def"
+#undef QUASAR_JOURNALED_MUTATOR
+
 #endif // QUASAR_VERIFY

@@ -1,0 +1,12 @@
+/** Fixture layer 6 header: a downward include (core -> stats) is the
+ *  legal direction and must not fire. */
+
+#pragma once
+
+#include "layers/stats/low.hh"
+
+inline int
+engineValue()
+{
+    return lowValue() + 1;
+}

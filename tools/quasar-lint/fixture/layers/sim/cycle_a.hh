@@ -1,0 +1,12 @@
+/** Half of a deliberate include cycle (same layer, so only the
+ *  include-cycle rule fires — once, at the lexicographically first
+ *  member). */
+
+#pragma once
+
+#include "layers/sim/cycle_b.hh" // expect(include-cycle)
+
+struct CycleA
+{
+    int a = 0;
+};

@@ -1,0 +1,10 @@
+/** The other half of the include cycle anchored at cycle_a.hh. */
+
+#pragma once
+
+#include "layers/sim/cycle_a.hh"
+
+struct CycleB
+{
+    int b = 0;
+};

@@ -1,0 +1,12 @@
+/** Deliberate layering violation: stats (layer 0) reaching up into
+ *  core (layer 6). */
+
+#pragma once
+
+#include "layers/core/engine.hh" // expect(layering)
+
+inline int
+badUpValue()
+{
+    return engineValue();
+}

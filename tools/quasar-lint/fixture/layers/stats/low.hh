@@ -1,0 +1,9 @@
+/** Fixture layer 0 header: depends on nothing. */
+
+#pragma once
+
+inline int
+lowValue()
+{
+    return 1;
+}

@@ -1,0 +1,21 @@
+// Proves the suppression scope leak is fixed: an allow(...) comment
+// binds to exactly ONE line — the comment's own line when it trails
+// code, otherwise the next line — so an identical violation on the
+// line after the target still fires. (The old loader registered block
+// comments on both following lines.)
+
+#include <cstdlib>
+
+int
+suppressionBindsToExactlyOneLine()
+{
+    // quasar-lint: allow(unseeded-rng)
+    int a = rand();
+    int b = rand(); // expect(unseeded-rng)
+    /* quasar-lint: allow(unseeded-rng) */
+    int c = rand();
+    int d = rand(); // expect(unseeded-rng)
+    int e = rand(); // quasar-lint: allow(unseeded-rng)
+    int f = rand(); // expect(unseeded-rng)
+    return a + b + c + d + e + f;
+}

@@ -1,804 +1,52 @@
 /**
  * @file
- * quasar-lint: the repo's determinism and hygiene linter.
+ * quasar-lint CLI. All analysis lives in the quasar_lint_core library
+ * (analyzer.hh); this file parses flags, expands inputs, runs the
+ * analyzer and applies the baseline/JSON/exit-code policy:
  *
- * Every result in this reproduction rests on a replay contract: churn
- * plans are pure functions of (config, seed) and all scheduler index
- * modes must stay bit-identical. That contract dies silently the first
- * time someone reads the wall clock, constructs an unseeded generator,
- * or lets unordered-container iteration order leak into a placement.
- * This tool enforces the contract at the token/line level — no libclang
- * dependency, so it builds everywhere the tree builds and runs in
- * milliseconds over the whole repo.
+ *   quasar-lint [options] <file-or-dir>...
+ *     --self-test [--fixture=DIR]  run the fixture self-test
+ *     --list-rules                 print rule ids, one per line
+ *     --json                       machine-readable findings
+ *     --baseline=FILE              drop findings covered by FILE;
+ *                                  fresh findings AND stale baseline
+ *                                  entries fail (shrink-only)
+ *     --write-baseline=FILE        write current findings as baseline
+ *     --mutators                   print the derived journaled-mutator
+ *                                  list (Server functions that bump)
  *
- * Rules (each can be suppressed per line with
- * `// quasar-lint: allow(<rule>[,<rule>...])`, either on the flagged
- * line or alone on the line above it):
- *
- *   unseeded-rng    std::rand / srand / random_device anywhere outside
- *                   the RNG layer (src/stats/rng.*). These either read
- *                   global entropy or global hidden state.
- *   raw-mt19937     constructing std::mt19937 / mt19937_64 outside
- *                   src/stats/rng.* — all seeding flows through
- *                   stats::Rng so streams are forkable and auditable.
- *   wallclock       system_clock / time() / clock() / gettimeofday /
- *                   clock_gettime outside the sanctioned timing layer
- *                   (src/stats/timing.hh). Simulated time comes from
- *                   the event queue; host time may only feed TimerStat.
- *   unordered-iter  range-for iteration over a variable declared as
- *                   std::unordered_map/unordered_set in decision-path
- *                   dirs (src/core, src/baselines, src/churn) — hash
- *                   iteration order is implementation-defined and leaks
- *                   straight into placements.
- *   float-eq        == / != with a floating-point literal operand in
- *                   decision-path dirs; exact compares against computed
- *                   doubles make placement flip on the last ulp.
- *   pragma-once     every header's first non-comment line must be
- *                   `#pragma once`.
- *   include-hygiene no `..` or absolute paths in #include directives.
- *
- * Usage:
- *   quasar-lint [--self-test] [--list-rules] <files-or-dirs...>
- *
- * Exit status: 0 clean, 1 findings (or self-test mismatch), 2 usage.
- *
- * `--self-test` lints the fixture tree next to the binary's source
- * (tools/quasar-lint/fixture), where every deliberate violation is
- * marked with `// expect(<rule>)`; the run fails unless the findings
- * match the markers exactly — proving each rule both fires and stays
- * suppressible.
+ * Exit status: 0 clean, 1 findings (or stale baseline), 2 usage/IO.
  */
 
-#include <algorithm>
-#include <cctype>
+#include "analyzer.hh"
+
 #include <cstdio>
-#include <cstring>
-#include <filesystem>
-#include <fstream>
-#include <map>
-#include <set>
-#include <sstream>
 #include <string>
 #include <vector>
-
-namespace fs = std::filesystem;
 
 namespace
 {
 
-struct Finding
+void
+usage(std::FILE *to)
 {
-    std::string file;
-    size_t line = 0;
-    std::string rule;
-    std::string message;
-
-    bool operator<(const Finding &o) const
-    {
-        if (file != o.file)
-            return file < o.file;
-        if (line != o.line)
-            return line < o.line;
-        return rule < o.rule;
-    }
-};
-
-const char *const kRuleIds[] = {
-    "unseeded-rng",  "raw-mt19937", "wallclock",       "unordered-iter",
-    "float-eq",      "pragma-once", "include-hygiene",
-};
-
-/** Paths (suffix match, '/'-normalized) exempt from the RNG/clock
- *  rules: the RNG layer itself and the sanctioned timing layer. */
-const char *const kRngAllowlist[] = {
-    "src/stats/rng.hh",
-    "src/stats/rng.cc",
-    "src/stats/timing.hh",
-};
-
-/** Directories whose code decides placements: iteration order and
- *  float compares there change results, not just style. The fixture
- *  subdir makes the decision-path rules self-testable. */
-const char *const kDecisionDirs[] = {
-    "src/core/",
-    "src/baselines/",
-    "src/churn/",
-    "src/trace/",
-    "src/topology/",
-    "fixture/decision/",
-};
-
-bool
-endsWith(const std::string &s, const std::string &suffix)
-{
-    return s.size() >= suffix.size() &&
-           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+    std::fprintf(
+        to,
+        "usage: quasar-lint [--json] [--baseline=FILE] "
+        "[--write-baseline=FILE]\n"
+        "                   [--mutators] <file-or-dir>...\n"
+        "       quasar-lint --self-test [--fixture=DIR]\n"
+        "       quasar-lint --list-rules\n");
 }
 
 bool
-isIdentChar(char c)
+flagValue(const std::string &arg, const char *flag, std::string *out)
 {
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/** One source file split into physical lines, with comments and
- *  string/char literals blanked out (line structure preserved) so the
- *  token rules never fire inside either. */
-struct FileText
-{
-    std::string path;          ///< as given, '/'-separated.
-    std::vector<std::string> raw;
-    std::vector<std::string> code; ///< comments/strings blanked.
-    /** rules allowed per line (1-based), from quasar-lint comments. */
-    std::map<size_t, std::set<std::string>> allowed;
-};
-
-/** Parse `quasar-lint: allow(a,b)` out of a comment's text. */
-std::set<std::string>
-parseAllowances(const std::string &comment)
-{
-    std::set<std::string> rules;
-    const std::string key = "quasar-lint:";
-    size_t k = comment.find(key);
-    if (k == std::string::npos)
-        return rules;
-    size_t open = comment.find("allow(", k);
-    if (open == std::string::npos)
-        return rules;
-    size_t close = comment.find(')', open);
-    if (close == std::string::npos)
-        return rules;
-    std::string list = comment.substr(open + 6, close - open - 6);
-    std::string cur;
-    for (char c : list + ",") {
-        if (c == ',') {
-            if (!cur.empty())
-                rules.insert(cur);
-            cur.clear();
-        } else if (!std::isspace(static_cast<unsigned char>(c))) {
-            cur += c;
-        }
-    }
-    return rules;
-}
-
-/**
- * Load a file: split lines, blank comments and literals, and collect
- * allow() suppressions. A suppression on a line applies to that line;
- * a line that is *only* a suppression comment also applies to the next
- * line.
- */
-bool
-loadFile(const std::string &path, FileText &out)
-{
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
+    std::string prefix = std::string(flag) + "=";
+    if (arg.compare(0, prefix.size(), prefix) != 0)
         return false;
-    std::stringstream ss;
-    ss << in.rdbuf();
-    std::string text = ss.str();
-
-    out.path = path;
-    std::replace(out.path.begin(), out.path.end(), '\\', '/');
-
-    // Split into lines (keep an implicit final line).
-    std::string line;
-    for (char c : text) {
-        if (c == '\n') {
-            out.raw.push_back(line);
-            line.clear();
-        } else if (c != '\r') {
-            line += c;
-        }
-    }
-    if (!line.empty())
-        out.raw.push_back(line);
-
-    // Blank comments and literals in one pass over the raw text,
-    // tracking multi-line constructs across lines.
-    enum class St
-    {
-        Code,
-        LineComment,
-        BlockComment,
-        Str,
-        Chr
-    } st = St::Code;
-    std::string comment_text; // accumulates the current comment.
-    size_t comment_line = 0;
-    out.code.reserve(out.raw.size());
-    for (size_t li = 0; li < out.raw.size(); ++li) {
-        const std::string &src = out.raw[li];
-        std::string dst(src.size(), ' ');
-        if (st == St::LineComment) // never spans lines
-            st = St::Code;
-        for (size_t i = 0; i < src.size(); ++i) {
-            char c = src[i];
-            char next = i + 1 < src.size() ? src[i + 1] : '\0';
-            switch (st) {
-            case St::Code:
-                if (c == '/' && next == '/') {
-                    st = St::LineComment;
-                    comment_text = src.substr(i);
-                    comment_line = li + 1;
-                    i = src.size();
-                } else if (c == '/' && next == '*') {
-                    st = St::BlockComment;
-                    comment_text.clear();
-                    comment_line = li + 1;
-                    ++i;
-                } else if (c == '"') {
-                    st = St::Str;
-                    dst[i] = '"';
-                } else if (c == '\'') {
-                    st = St::Chr;
-                    dst[i] = '\'';
-                } else {
-                    dst[i] = c;
-                }
-                break;
-            case St::BlockComment:
-                comment_text += c;
-                if (c == '*' && next == '/') {
-                    st = St::Code;
-                    ++i;
-                    for (const std::string &rule :
-                         parseAllowances(comment_text)) {
-                        out.allowed[comment_line].insert(rule);
-                        out.allowed[li + 1].insert(rule);
-                    }
-                    comment_text.clear();
-                }
-                break;
-            case St::Str:
-                if (c == '\\')
-                    ++i;
-                else if (c == '"') {
-                    st = St::Code;
-                    dst[i] = '"';
-                }
-                break;
-            case St::Chr:
-                if (c == '\\')
-                    ++i;
-                else if (c == '\'') {
-                    st = St::Code;
-                    dst[i] = '\'';
-                }
-                break;
-            case St::LineComment:
-                break; // unreachable within the loop
-            }
-        }
-        if (st == St::LineComment || st == St::BlockComment)
-            comment_text += '\n';
-        if (st == St::LineComment) {
-            std::set<std::string> rules = parseAllowances(comment_text);
-            if (!rules.empty()) {
-                out.allowed[li + 1].insert(rules.begin(), rules.end());
-                // A line that is nothing but the suppression comment
-                // covers the following line too.
-                std::string before = src.substr(0, src.find("//"));
-                bool only_comment =
-                    before.find_first_not_of(" \t") == std::string::npos;
-                if (only_comment)
-                    out.allowed[li + 2].insert(rules.begin(),
-                                               rules.end());
-            }
-            comment_text.clear();
-        }
-        out.code.push_back(dst);
-    }
+    *out = arg.substr(prefix.size());
     return true;
-}
-
-bool
-onRngAllowlist(const std::string &path)
-{
-    for (const char *suffix : kRngAllowlist)
-        if (endsWith(path, suffix))
-            return true;
-    return false;
-}
-
-bool
-inDecisionDir(const std::string &path)
-{
-    for (const char *dir : kDecisionDirs)
-        if (path.find(dir) != std::string::npos)
-            return true;
-    return false;
-}
-
-bool
-isHeader(const std::string &path)
-{
-    return endsWith(path, ".hh") || endsWith(path, ".hpp") ||
-           endsWith(path, ".h");
-}
-
-/** All identifier tokens of a line with their start columns. */
-std::vector<std::pair<size_t, std::string>>
-identifiers(const std::string &line)
-{
-    std::vector<std::pair<size_t, std::string>> out;
-    size_t i = 0;
-    while (i < line.size()) {
-        if (isIdentChar(line[i]) &&
-            !std::isdigit(static_cast<unsigned char>(line[i]))) {
-            size_t start = i;
-            while (i < line.size() && isIdentChar(line[i]))
-                ++i;
-            out.emplace_back(start, line.substr(start, i - start));
-        } else {
-            ++i;
-        }
-    }
-    return out;
-}
-
-/** True when the identifier at col is directly called: next
- *  non-space char after it is '('. */
-bool
-isCall(const std::string &line, size_t col, size_t len)
-{
-    size_t i = col + len;
-    while (i < line.size() && (line[i] == ' ' || line[i] == '\t'))
-        ++i;
-    return i < line.size() && line[i] == '(';
-}
-
-/** True when the identifier is a member/namespace access other than
- *  std:: (e.g. `foo.time(`, `q->time(`, `sim::time(`). */
-bool
-isQualifiedNonStd(const std::string &line, size_t col)
-{
-    size_t i = col;
-    while (i > 0 && (line[i - 1] == ' ' || line[i - 1] == '\t'))
-        --i;
-    if (i == 0)
-        return false;
-    if (line[i - 1] == '.')
-        return true;
-    if (i >= 2 && line[i - 2] == '-' && line[i - 1] == '>')
-        return true;
-    if (i >= 2 && line[i - 2] == ':' && line[i - 1] == ':') {
-        // Qualified: allowed only when the qualifier is std.
-        size_t q = i - 2;
-        while (q > 0 && isIdentChar(line[q - 1]))
-            --q;
-        return line.compare(q, (i - 2) - q, "std") != 0;
-    }
-    return false;
-}
-
-bool
-isFloatLiteral(const std::string &tok)
-{
-    if (tok.empty())
-        return false;
-    bool digit = false, dot = false, expo = false;
-    size_t i = 0;
-    for (; i < tok.size(); ++i) {
-        char c = tok[i];
-        if (std::isdigit(static_cast<unsigned char>(c))) {
-            digit = true;
-        } else if (c == '.' && !dot && !expo) {
-            dot = true;
-        } else if ((c == 'e' || c == 'E') && digit && !expo) {
-            expo = true;
-            if (i + 1 < tok.size() &&
-                (tok[i + 1] == '+' || tok[i + 1] == '-'))
-                ++i;
-        } else if ((c == 'f' || c == 'F') && i + 1 == tok.size()) {
-            // trailing float suffix
-        } else {
-            return false;
-        }
-    }
-    return digit && (dot || expo);
-}
-
-/** Operand token adjacent to position i, scanning left or right. */
-std::string
-operandToken(const std::string &line, size_t i, int dir)
-{
-    if (dir < 0) {
-        size_t p = i;
-        while (p > 0 && (line[p - 1] == ' ' || line[p - 1] == '\t'))
-            --p;
-        size_t end = p;
-        while (p > 0 && (isIdentChar(line[p - 1]) || line[p - 1] == '.'))
-            --p;
-        return line.substr(p, end - p);
-    }
-    size_t p = i;
-    while (p < line.size() && (line[p] == ' ' || line[p] == '\t'))
-        ++p;
-    size_t start = p;
-    if (p < line.size() && (line[p] == '-' || line[p] == '+')) {
-        // Unary sign on a literal ("x == -1.0"); drop it so the
-        // remainder still matches the float-literal pattern.
-        ++p;
-        ++start;
-    }
-    while (p < line.size() && (isIdentChar(line[p]) || line[p] == '.'))
-        ++p;
-    return line.substr(start, p - start);
-}
-
-// -------------------------------------------------------------------
-// Rules
-// -------------------------------------------------------------------
-
-void
-ruleRngAndClock(const FileText &f, std::vector<Finding> &out)
-{
-    if (onRngAllowlist(f.path))
-        return;
-    for (size_t li = 0; li < f.code.size(); ++li) {
-        const std::string &line = f.code[li];
-        for (const auto &[col, id] : identifiers(line)) {
-            if (id == "random_device" || id == "srand") {
-                out.push_back({f.path, li + 1, "unseeded-rng",
-                               "'" + id +
-                                   "' reads global entropy/state; "
-                                   "seed a stats::Rng instead"});
-            } else if (id == "rand" && isCall(line, col, id.size()) &&
-                       !isQualifiedNonStd(line, col)) {
-                out.push_back({f.path, li + 1, "unseeded-rng",
-                               "'rand()' uses hidden global state; "
-                               "seed a stats::Rng instead"});
-            } else if (id == "mt19937" || id == "mt19937_64") {
-                out.push_back({f.path, li + 1, "raw-mt19937",
-                               "raw std::" + id +
-                                   " outside src/stats/rng.*; route "
-                                   "seeding through stats::Rng"});
-            } else if (id == "system_clock" || id == "gettimeofday" ||
-                       id == "clock_gettime") {
-                out.push_back({f.path, li + 1, "wallclock",
-                               "'" + id +
-                                   "' reads host wall-clock time; "
-                                   "simulated time comes from the "
-                                   "event queue, host timing from "
-                                   "stats/timing.hh"});
-            } else if ((id == "time" || id == "clock") &&
-                       isCall(line, col, id.size()) &&
-                       !isQualifiedNonStd(line, col)) {
-                out.push_back({f.path, li + 1, "wallclock",
-                               "'" + id +
-                                   "()' reads the host clock; use "
-                                   "the event queue / "
-                                   "stats/timing.hh"});
-            }
-        }
-    }
-}
-
-/**
- * Collect names declared with an unordered container type in this
- * file (and, for a foo.cc, in a sibling foo.hh so member iteration in
- * the implementation file is still seen).
- */
-std::set<std::string>
-unorderedNames(const FileText &f)
-{
-    std::set<std::string> names;
-    auto harvest = [&names](const std::vector<std::string> &lines) {
-        for (const std::string &line : lines) {
-            for (const char *type :
-                 {"unordered_map", "unordered_set",
-                  "unordered_multimap", "unordered_multiset"}) {
-                size_t at = 0;
-                while ((at = line.find(type, at)) != std::string::npos) {
-                    size_t p = at + std::strlen(type);
-                    if (p >= line.size() || line[p] != '<') {
-                        at = p;
-                        continue;
-                    }
-                    // Skip the template argument list.
-                    int depth = 0;
-                    while (p < line.size()) {
-                        if (line[p] == '<')
-                            ++depth;
-                        else if (line[p] == '>' && --depth == 0) {
-                            ++p;
-                            break;
-                        }
-                        ++p;
-                    }
-                    // Optional &, *, whitespace, then the name.
-                    while (p < line.size() &&
-                           (line[p] == ' ' || line[p] == '&' ||
-                            line[p] == '*'))
-                        ++p;
-                    size_t start = p;
-                    while (p < line.size() && isIdentChar(line[p]))
-                        ++p;
-                    if (p > start)
-                        names.insert(line.substr(start, p - start));
-                    at = p;
-                }
-            }
-        }
-    };
-    harvest(f.code);
-    if (endsWith(f.path, ".cc")) {
-        std::string hdr = f.path.substr(0, f.path.size() - 3) + ".hh";
-        FileText sibling;
-        if (loadFile(hdr, sibling))
-            harvest(sibling.code);
-    }
-    return names;
-}
-
-void
-ruleUnorderedIter(const FileText &f, std::vector<Finding> &out)
-{
-    if (!inDecisionDir(f.path))
-        return;
-    std::set<std::string> names = unorderedNames(f);
-    if (names.empty())
-        return;
-    for (size_t li = 0; li < f.code.size(); ++li) {
-        const std::string &line = f.code[li];
-        size_t fo = line.find("for");
-        if (fo == std::string::npos)
-            continue;
-        // Range-for: `for (<decl> : <range>)` — take the range side.
-        size_t colon = line.find(" : ", fo);
-        if (colon == std::string::npos)
-            continue;
-        std::string range = line.substr(colon + 3);
-        for (const auto &[col, id] : identifiers(range)) {
-            (void)col;
-            if (names.count(id)) {
-                out.push_back(
-                    {f.path, li + 1, "unordered-iter",
-                     "iterating unordered container '" + id +
-                         "' on a decision path; hash order leaks "
-                         "into placements — use an ordered "
-                         "container or sort first"});
-                break;
-            }
-        }
-    }
-}
-
-void
-ruleFloatEq(const FileText &f, std::vector<Finding> &out)
-{
-    if (!inDecisionDir(f.path))
-        return;
-    for (size_t li = 0; li < f.code.size(); ++li) {
-        const std::string &line = f.code[li];
-        for (size_t i = 0; i + 1 < line.size(); ++i) {
-            bool eq = line[i] == '=' && line[i + 1] == '=';
-            bool ne = line[i] == '!' && line[i + 1] == '=';
-            if (!eq && !ne)
-                continue;
-            char before = i > 0 ? line[i - 1] : '\0';
-            char after = i + 2 < line.size() ? line[i + 2] : '\0';
-            if (before == '=' || before == '!' || before == '<' ||
-                before == '>' || after == '=')
-                continue; // ===, <=, >=, != already consumed, etc.
-            std::string lhs = operandToken(line, i, -1);
-            std::string rhs = operandToken(line, i + 2, +1);
-            if (isFloatLiteral(lhs) || isFloatLiteral(rhs)) {
-                out.push_back(
-                    {f.path, li + 1, "float-eq",
-                     std::string(eq ? "'=='" : "'!='") +
-                         " against a floating-point literal on a "
-                         "decision path; compare with an explicit "
-                         "tolerance or restructure"});
-                ++i;
-            }
-        }
-    }
-}
-
-void
-rulePragmaOnce(const FileText &f, std::vector<Finding> &out)
-{
-    if (!isHeader(f.path))
-        return;
-    for (size_t li = 0; li < f.code.size(); ++li) {
-        const std::string &line = f.code[li];
-        size_t first = line.find_first_not_of(" \t");
-        if (first == std::string::npos)
-            continue;
-        if (line.compare(first, 12, "#pragma once") == 0)
-            return;
-        out.push_back({f.path, li + 1, "pragma-once",
-                       "header's first non-comment line must be "
-                       "'#pragma once'"});
-        return;
-    }
-    out.push_back({f.path, f.code.empty() ? 1 : f.code.size(),
-                   "pragma-once", "header lacks '#pragma once'"});
-}
-
-void
-ruleIncludeHygiene(const FileText &f, std::vector<Finding> &out)
-{
-    for (size_t li = 0; li < f.raw.size(); ++li) {
-        // Includes live partly inside "quotes", which the code view
-        // blanks — use the raw line, but only when it is a directive.
-        const std::string &line = f.raw[li];
-        size_t first = line.find_first_not_of(" \t");
-        if (first == std::string::npos ||
-            line.compare(first, 8, "#include") != 0)
-            continue;
-        size_t open = line.find_first_of("\"<", first + 8);
-        if (open == std::string::npos)
-            continue;
-        char closer = line[open] == '"' ? '"' : '>';
-        size_t close = line.find(closer, open + 1);
-        if (close == std::string::npos)
-            continue;
-        std::string target = line.substr(open + 1, close - open - 1);
-        if (target.find("..") != std::string::npos)
-            out.push_back({f.path, li + 1, "include-hygiene",
-                           "'..' in include path; include project "
-                           "headers root-relative"});
-        else if (!target.empty() && target[0] == '/')
-            out.push_back({f.path, li + 1, "include-hygiene",
-                           "absolute include path"});
-    }
-}
-
-// -------------------------------------------------------------------
-// Driver
-// -------------------------------------------------------------------
-
-/** Lint one file; suppressed findings are dropped here. */
-std::vector<Finding>
-lintFile(const std::string &path)
-{
-    std::vector<Finding> findings;
-    FileText f;
-    if (!loadFile(path, f)) {
-        findings.push_back({path, 0, "io", "cannot read file"});
-        return findings;
-    }
-    std::vector<Finding> all;
-    ruleRngAndClock(f, all);
-    ruleUnorderedIter(f, all);
-    ruleFloatEq(f, all);
-    rulePragmaOnce(f, all);
-    ruleIncludeHygiene(f, all);
-    for (const Finding &fi : all) {
-        auto it = f.allowed.find(fi.line);
-        if (it != f.allowed.end() && it->second.count(fi.rule))
-            continue;
-        findings.push_back(fi);
-    }
-    std::sort(findings.begin(), findings.end());
-    return findings;
-}
-
-bool
-lintableFile(const fs::path &p)
-{
-    std::string ext = p.extension().string();
-    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
-           ext == ".hpp" || ext == ".h";
-}
-
-/** Expand files/dirs into the lintable file list, skipping build
- *  output and the self-test fixture. */
-std::vector<std::string>
-collect(const std::vector<std::string> &paths)
-{
-    std::vector<std::string> files;
-    for (const std::string &p : paths) {
-        if (fs::is_directory(p)) {
-            for (auto it = fs::recursive_directory_iterator(p);
-                 it != fs::recursive_directory_iterator(); ++it) {
-                std::string s = it->path().generic_string();
-                if (s.find("/build") != std::string::npos ||
-                    s.find("fixture/") != std::string::npos ||
-                    s.find("/.git") != std::string::npos)
-                    continue;
-                if (it->is_regular_file() && lintableFile(it->path()))
-                    files.push_back(s);
-            }
-        } else {
-            files.push_back(p);
-        }
-    }
-    std::sort(files.begin(), files.end());
-    return files;
-}
-
-/** `// expect(<rule>)` markers in a fixture file (raw text: markers
- *  ride inside comments). */
-std::vector<Finding>
-expectedFindings(const std::string &path)
-{
-    std::vector<Finding> expected;
-    FileText f;
-    if (!loadFile(path, f))
-        return expected;
-    for (size_t li = 0; li < f.raw.size(); ++li) {
-        const std::string &line = f.raw[li];
-        size_t at = 0;
-        while ((at = line.find("expect(", at)) != std::string::npos) {
-            size_t close = line.find(')', at);
-            if (close == std::string::npos)
-                break;
-            expected.push_back({f.path, li + 1,
-                                line.substr(at + 7, close - at - 7),
-                                ""});
-            at = close;
-        }
-    }
-    std::sort(expected.begin(), expected.end());
-    return expected;
-}
-
-int
-selfTest(const std::string &fixture_dir)
-{
-    std::vector<std::string> files;
-    for (auto it = fs::recursive_directory_iterator(fixture_dir);
-         it != fs::recursive_directory_iterator(); ++it)
-        if (it->is_regular_file() && lintableFile(it->path()))
-            files.push_back(it->path().generic_string());
-    std::sort(files.begin(), files.end());
-    if (files.empty()) {
-        std::fprintf(stderr, "self-test: no fixture files under %s\n",
-                     fixture_dir.c_str());
-        return 1;
-    }
-
-    std::set<std::string> covered;
-    size_t mismatches = 0;
-    for (const std::string &path : files) {
-        std::vector<Finding> got = lintFile(path);
-        std::vector<Finding> want = expectedFindings(path);
-        for (const Finding &w : want)
-            covered.insert(w.rule);
-        auto key = [](const Finding &x) {
-            return x.file + ":" + std::to_string(x.line) + ":" + x.rule;
-        };
-        std::set<std::string> got_keys, want_keys;
-        for (const Finding &g : got)
-            got_keys.insert(key(g));
-        for (const Finding &w : want)
-            want_keys.insert(key(w));
-        for (const std::string &k : want_keys)
-            if (!got_keys.count(k)) {
-                std::fprintf(stderr,
-                             "self-test: MISSING expected finding %s\n",
-                             k.c_str());
-                ++mismatches;
-            }
-        for (const std::string &k : got_keys)
-            if (!want_keys.count(k)) {
-                std::fprintf(stderr,
-                             "self-test: UNEXPECTED finding %s\n",
-                             k.c_str());
-                ++mismatches;
-            }
-    }
-    for (const char *rule : kRuleIds)
-        if (!covered.count(rule)) {
-            std::fprintf(stderr,
-                         "self-test: rule '%s' has no fixture "
-                         "violation exercising it\n",
-                         rule);
-            ++mismatches;
-        }
-    if (mismatches) {
-        std::fprintf(stderr, "self-test FAILED: %zu mismatches\n",
-                     mismatches);
-        return 1;
-    }
-    std::printf("quasar-lint self-test: all %zu rules fire and "
-                "suppress correctly across %zu fixture files\n",
-                std::size(kRuleIds), files.size());
-    return 0;
 }
 
 } // namespace
@@ -806,61 +54,122 @@ selfTest(const std::string &fixture_dir)
 int
 main(int argc, char **argv)
 {
-    std::vector<std::string> paths;
-    bool self_test = false;
-    std::string fixture_dir;
+    using namespace quasarlint;
+
+    bool self_test = false, list_rules = false, json = false;
+    bool print_mutators = false;
+    std::string fixture = "tools/quasar-lint/fixture";
+    std::string baseline_path, write_baseline_path;
+    std::vector<std::string> roots;
+
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg == "--self-test") {
+        if (arg == "--self-test")
             self_test = true;
-        } else if (arg.rfind("--fixture=", 0) == 0) {
-            fixture_dir = arg.substr(10);
-        } else if (arg == "--list-rules") {
-            for (const char *rule : kRuleIds)
-                std::printf("%s\n", rule);
+        else if (arg == "--list-rules")
+            list_rules = true;
+        else if (arg == "--json")
+            json = true;
+        else if (arg == "--mutators")
+            print_mutators = true;
+        else if (flagValue(arg, "--fixture", &fixture) ||
+                 flagValue(arg, "--baseline", &baseline_path) ||
+                 flagValue(arg, "--write-baseline",
+                           &write_baseline_path))
+            ;
+        else if (arg == "--help" || arg == "-h") {
+            usage(stdout);
             return 0;
-        } else if (arg == "--help" || arg == "-h") {
-            std::printf("usage: quasar-lint [--self-test "
-                        "[--fixture=DIR]] <files-or-dirs...>\n");
-            return 0;
-        } else if (arg.rfind("--", 0) == 0) {
-            std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "quasar-lint: unknown option '%s'\n",
+                         arg.c_str());
+            usage(stderr);
             return 2;
         } else {
-            paths.push_back(arg);
+            roots.push_back(arg);
         }
     }
 
-    if (self_test) {
-        if (fixture_dir.empty())
-            fixture_dir = "tools/quasar-lint/fixture";
-        return selfTest(fixture_dir);
+    if (list_rules) {
+        for (const std::string &r : kRuleIds)
+            std::printf("%s\n", r.c_str());
+        return 0;
     }
-
-    if (paths.empty()) {
-        std::fprintf(stderr, "usage: quasar-lint [--self-test] "
-                             "<files-or-dirs...>\n");
+    if (self_test)
+        return selfTest(fixture);
+    if (roots.empty()) {
+        usage(stderr);
         return 2;
     }
 
-    std::vector<std::string> files = collect(paths);
-    size_t total = 0;
-    for (const std::string &file : files) {
-        for (const Finding &fi : lintFile(file)) {
-            std::printf("%s:%zu: error: [%s] %s\n", fi.file.c_str(),
-                        fi.line, fi.rule.c_str(), fi.message.c_str());
-            ++total;
+    Analyzer analyzer;
+    collectInputs(roots, analyzer.paths, analyzer.def_paths);
+    if (analyzer.paths.empty()) {
+        std::fprintf(stderr, "quasar-lint: no lintable files under "
+                             "the given paths\n");
+        return 2;
+    }
+    std::vector<Finding> findings = analyzer.run();
+
+    if (print_mutators) {
+        for (const std::string &m : analyzer.derivedMutators())
+            std::printf("%s\n", m.c_str());
+        return 0;
+    }
+    if (!write_baseline_path.empty()) {
+        if (!writeBaseline(write_baseline_path, findings, analyzer)) {
+            std::fprintf(stderr,
+                         "quasar-lint: cannot write baseline '%s'\n",
+                         write_baseline_path.c_str());
+            return 2;
         }
-    }
-    if (total) {
         std::fprintf(stderr,
-                     "quasar-lint: %zu finding(s) in %zu files "
-                     "(suppress with '// quasar-lint: "
-                     "allow(<rule>)' only when the usage is "
-                     "genuinely deterministic)\n",
-                     total, files.size());
-        return 1;
+                     "quasar-lint: wrote %zu finding(s) to '%s'\n",
+                     findings.size(), write_baseline_path.c_str());
+        return 0;
     }
-    std::printf("quasar-lint: %zu files clean\n", files.size());
-    return 0;
+
+    std::vector<BaselineEntry> stale;
+    if (!baseline_path.empty()) {
+        std::vector<BaselineEntry> entries;
+        std::string error;
+        if (!loadBaseline(baseline_path, entries, error)) {
+            std::fprintf(stderr, "quasar-lint: baseline '%s': %s\n",
+                         baseline_path.c_str(), error.c_str());
+            return 2;
+        }
+        std::vector<Finding> fresh;
+        applyBaseline(findings, entries, analyzer, fresh, stale);
+        findings = std::move(fresh);
+    }
+
+    if (json) {
+        std::string doc = findingsToJson(findings, analyzer);
+        // Stale baseline entries ride along so CI can show both
+        // failure modes from one artifact.
+        if (!stale.empty()) {
+            doc.erase(doc.rfind('}'));
+            doc += ",\n  \"stale_baseline\": [\n";
+            for (size_t i = 0; i < stale.size(); ++i)
+                doc += "    {\"file\": \"" + stale[i].file +
+                       "\", \"rule\": \"" + stale[i].rule +
+                       "\", \"count\": " +
+                       std::to_string(stale[i].count) +
+                       (i + 1 < stale.size() ? "},\n" : "}\n");
+            doc += "  ]\n}\n";
+        }
+        std::fputs(doc.c_str(), stdout);
+    } else {
+        for (const Finding &f : findings)
+            std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                        f.rule.c_str(), f.message.c_str());
+        for (const BaselineEntry &e : stale)
+            std::printf("%s: [%s] stale baseline entry (x%d) no "
+                        "longer fires; remove it from the baseline\n",
+                        e.file.c_str(), e.rule.c_str(), e.count);
+        if (findings.empty() && stale.empty())
+            std::printf("quasar-lint: %zu file(s) clean\n",
+                        analyzer.paths.size());
+    }
+    return (findings.empty() && stale.empty()) ? 0 : 1;
 }
