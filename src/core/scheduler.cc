@@ -198,7 +198,73 @@ GreedyScheduler::refreshEntry(const sim::Server &srv,
     e.be_mem = be.memory_gb;
     e.be_storage = be.storage_gb;
     e.platform_idx = platformIndexOf(srv);
+    // Prio-class key: the lowest registry priority among non-best-
+    // effort residents holding at least one core. priorityEvictable()
+    // frees ≥ 1 core for workload w exactly when this key is strictly
+    // below w.priority (core shares are non-negative integers), so
+    // the drain can skip whole priority classes without walking the
+    // resident ledger.
+    e.prio_key = kNoPrio;
+    if (registry_) {
+        for (const sim::TaskShare &t : srv.tasks()) {
+            if (t.best_effort || t.cores < 1)
+                continue;
+            if (!registry_->contains(t.workload))
+                continue;
+            e.prio_key = std::min(e.prio_key,
+                                  registry_->get(t.workload).priority);
+        }
+    }
     e.version = srv.version();
+}
+
+std::pair<GreedyScheduler::FeasClass, int>
+GreedyScheduler::feasibilityClass(const ServerCacheEntry &e)
+{
+    if (!e.available)
+        return {FeasClass::Closed, kNoPrio};
+    if (e.free_cores >= 1)
+        return {FeasClass::Open, kNoPrio};
+    if (e.free_cores + e.be_cores >= 1)
+        return {FeasClass::Evict, kNoPrio};
+    if (e.prio_key != kNoPrio)
+        return {FeasClass::Prio, e.prio_key};
+    return {FeasClass::Closed, kNoPrio};
+}
+
+std::vector<uint32_t> &
+GreedyScheduler::levelList(OrderLevel &lvl, FeasClass cls, int prio_key)
+{
+    switch (cls) {
+    case FeasClass::Open:
+        return lvl.open;
+    case FeasClass::Evict:
+        return lvl.evict;
+    case FeasClass::Prio:
+        return lvl.prio[prio_key];
+    case FeasClass::Closed:
+        break;
+    }
+    return lvl.closed;
+}
+
+bool
+GreedyScheduler::filterAdmits(const OrderFilter &f, FeasClass cls,
+                              int prio_key)
+{
+    if (f.all)
+        return true;
+    switch (cls) {
+    case FeasClass::Open:
+        return true;
+    case FeasClass::Evict:
+        return f.evict;
+    case FeasClass::Prio:
+        return prio_key < f.prio_below;
+    case FeasClass::Closed:
+        break;
+    }
+    return false;
 }
 
 void
@@ -206,8 +272,29 @@ GreedyScheduler::refreshEntryIndexed(const sim::Server &srv,
                                      ServerCacheEntry &e) const
 {
     refreshEntry(srv, e);
-    if (orderMaintained())
+    // Non-members never enter the maintained order: a shard worker
+    // only ranks its own servers, even if a stray state read (e.g.
+    // the committer walking a merged stream) refreshes their entries.
+    if (orderMaintained() && memberServer(srv.id()))
         orderPlace(srv.id(), e);
+}
+
+void
+GreedyScheduler::restrictToShard(const std::vector<uint32_t> *shard_of,
+                                 uint32_t shard)
+{
+    shard_of_ = shard_of;
+    shard_id_ = shard;
+    // Drop the index and order wholesale: membership changed, so the
+    // next refresh re-primes from scratch over the new member set.
+    cache_.clear();
+    server_bucket_.clear();
+    order_buckets_.clear();
+    free_buckets_.clear();
+    bucket_of_sig_.clear();
+    platform_order_.clear();
+    index_primed_ = false;
+    journal_cursor_ = 0;
 }
 
 void
@@ -225,6 +312,14 @@ GreedyScheduler::orderPlace(ServerId id, const ServerCacheEntry &e) const
         for (size_t i = 0; i < interference::kNumSources; ++i)
             sig[2 + s * interference::kNumSources + i] =
                 std::bit_cast<uint64_t>(e.socket_contention[s][i]);
+    // The feasibility class rides in the signature, so a mutation
+    // that leaves the contention vector untouched but opens or closes
+    // the server (a zero-pressure placement consuming the last free
+    // core, an eviction freeing one) still migrates it between class
+    // lists — the early-out below stays correct.
+    auto [cls, prio_key] = feasibilityClass(e);
+    sig[sig.size() - 1] =
+        uint64_t(uint32_t(prio_key)) | uint64_t(cls) << 62;
 
     if (server_bucket_.size() < cache_.size())
         server_bucket_.resize(cache_.size(), kNoBucket);
@@ -252,12 +347,15 @@ GreedyScheduler::orderPlace(ServerId id, const ServerCacheEntry &e) const
         b.speed = e.speed;
         b.socket_contention = e.socket_contention;
         b.sockets = e.sockets;
+        b.cls = cls;
+        b.prio_key = prio_key;
         b.ids.clear();
         if (platform_order_.size() <= e.platform_idx)
             platform_order_.resize(e.platform_idx + 1);
         OrderLevel &lvl = platform_order_[e.platform_idx][e.speed];
-        b.level_pos = uint32_t(lvl.buckets.size());
-        lvl.buckets.push_back(slot);
+        std::vector<uint32_t> &list = levelList(lvl, cls, prio_key);
+        b.level_pos = uint32_t(list.size());
+        list.push_back(slot);
         bucket_of_sig_.emplace(sig, slot);
     }
     order_buckets_[slot].ids.insert(id);
@@ -273,17 +371,21 @@ GreedyScheduler::orderRemove(ServerId id) const
     server_bucket_[size_t(id)] = kNoBucket;
     if (!b.ids.empty())
         return;
-    // Free the emptied bucket: swap-remove it from its level, drop the
-    // level when it empties, release the slot to the free list.
+    // Free the emptied bucket: swap-remove it from its level's class
+    // list, drop the level when it fully empties, release the slot to
+    // the free list.
     LevelMap &levels = platform_order_[b.platform_idx];
     auto lit = levels.find(b.speed);
     assert(lit != levels.end());
     OrderLevel &lvl = lit->second;
-    uint32_t moved = lvl.buckets.back();
-    lvl.buckets[b.level_pos] = moved;
+    std::vector<uint32_t> &list = levelList(lvl, b.cls, b.prio_key);
+    uint32_t moved = list.back();
+    list[b.level_pos] = moved;
     order_buckets_[moved].level_pos = b.level_pos;
-    lvl.buckets.pop_back();
-    if (lvl.buckets.empty())
+    list.pop_back();
+    if (b.cls == FeasClass::Prio && list.empty())
+        lvl.prio.erase(b.prio_key);
+    if (lvl.empty())
         levels.erase(lit);
     bucket_of_sig_.erase(b.sig);
     free_buckets_.push_back(slot);
@@ -305,10 +407,12 @@ GreedyScheduler::levelLess(const LevelCursor &a, const LevelCursor &b)
 
 void
 GreedyScheduler::beginOrderedCandidates(OrderStream &s,
-                                        const WorkloadEstimate &est) const
+                                        const WorkloadEstimate &est,
+                                        const OrderFilter &filter) const
 {
     s.exact.clear();
     s.pending.clear();
+    s.filter = filter;
     for (size_t p = 0; p < platform_order_.size(); ++p) {
         const LevelMap &levels = platform_order_[p];
         if (levels.empty())
@@ -352,26 +456,48 @@ GreedyScheduler::nextOrderedCandidate(OrderStream &s,
             return std::nullopt; // order fully drained
         // Expand the best unexpanded level: apply the per-workload
         // factors once per bucket (not once per server), then queue
-        // the platform's next-fastest level under its own bound.
+        // the platform's next-fastest level under its own bound. Only
+        // the class lists the filter admits are touched — a saturated
+        // level (all members Closed, or Prio at or above the
+        // workload's priority) costs one map probe, not a walk over
+        // its members.
         std::pop_heap(s.pending.begin(), s.pending.end(), levelLess);
         LevelCursor lc = s.pending.back();
         s.pending.pop_back();
-        for (uint32_t slot : lc.it->second.buckets) {
-            const OrderBucket &b = order_buckets_[slot];
-            OrderCursor c;
-            // Exactly serverQuality's factor order, on bitwise-equal
-            // inputs, so the drained order matches a from-scratch
-            // ranking bit for bit.
-            c.quality = est.platform_factor[b.platform_idx] *
-                        bestSocketMultiplier(est, b.socket_contention,
-                                             b.sockets,
-                                             cfg_.slope_guess) *
-                        b.speed;
-            c.bucket = &b;
-            c.it = b.ids.begin();
-            c.id = *c.it;
-            s.exact.push_back(c);
-            std::push_heap(s.exact.begin(), s.exact.end(), cursorLess);
+        const OrderLevel &level = lc.it->second;
+        auto expand = [&](const std::vector<uint32_t> &list) {
+            for (uint32_t slot : list) {
+                const OrderBucket &b = order_buckets_[slot];
+                OrderCursor c;
+                // Exactly serverQuality's factor order, on bitwise-
+                // equal inputs, so the drained order matches a
+                // from-scratch ranking bit for bit.
+                c.quality =
+                    est.platform_factor[b.platform_idx] *
+                    bestSocketMultiplier(est, b.socket_contention,
+                                         b.sockets, cfg_.slope_guess) *
+                    b.speed;
+                c.bucket = &b;
+                c.it = b.ids.begin();
+                c.id = *c.it;
+                s.exact.push_back(c);
+                std::push_heap(s.exact.begin(), s.exact.end(),
+                               cursorLess);
+            }
+        };
+        expand(level.open);
+        if (s.filter.all || s.filter.evict)
+            expand(level.evict);
+        if (s.filter.all) {
+            for (const auto &[key, list] : level.prio)
+                expand(list);
+            expand(level.closed);
+        } else {
+            for (auto it = level.prio.begin();
+                 it != level.prio.end() &&
+                 it->first < s.filter.prio_below;
+                 ++it)
+                expand(it->second);
         }
         auto nit = std::next(lc.it);
         if (nit != platform_order_[lc.platform].end()) {
@@ -412,6 +538,8 @@ GreedyScheduler::refreshIndex() const
         // catalog change: fall back to the full epoch-check scan
         // (exactly the cached mode's per-decision cost, once).
         for (size_t i = 0; i < cluster_.size(); ++i) {
+            if (!memberServer(ServerId(i)))
+                continue; // another shard's server
             const sim::Server &srv = cluster_.server(ServerId(i));
             ServerCacheEntry &e = cache_[i];
             if (force || e.version != srv.version())
@@ -422,10 +550,16 @@ GreedyScheduler::refreshIndex() const
         // Incremental: replay only the servers touched since this
         // scheduler's last decision. Duplicate journal entries dedupe
         // through the epoch compare (first replay refreshes, the rest
-        // no-op).
-        for (uint64_t pos = journal_cursor_; pos < journal.end();
-             ++pos) {
-            const sim::Server &srv = cluster_.server(journal.at(pos));
+        // no-op). A shard worker skips other shards' entries — each of
+        // the K cursors walks the same shared window independently
+        // (the journal's multi-reader contract) but refreshes only
+        // its own members.
+        const uint64_t snapshot = journal.end();
+        for (uint64_t pos = journal_cursor_; pos < snapshot; ++pos) {
+            ServerId sid = journal.at(pos);
+            if (!memberServer(sid))
+                continue;
+            const sim::Server &srv = cluster_.server(sid);
             ServerCacheEntry &e = cache_[size_t(srv.id())];
             if (e.version != srv.version())
                 refreshEntryIndexed(srv, e);
@@ -451,7 +585,11 @@ GreedyScheduler::auditIndexCoherence() const
 {
     ++verify::counters().index_audits;
     size_t ordered_members = 0;
+    size_t expected_members = 0;
     for (size_t i = 0; i < cluster_.size(); ++i) {
+        if (!memberServer(ServerId(i)))
+            continue; // another shard's server: never indexed here
+        ++expected_members;
         const sim::Server &srv = cluster_.server(ServerId(i));
         const ServerCacheEntry &cached = cache_[i];
         if (cached.version != srv.version()) {
@@ -477,7 +615,8 @@ GreedyScheduler::auditIndexCoherence() const
             fresh.be_cores != cached.be_cores ||
             fresh.be_mem != cached.be_mem ||
             fresh.be_storage != cached.be_storage ||
-            fresh.platform_idx != cached.platform_idx) {
+            fresh.platform_idx != cached.platform_idx ||
+            fresh.prio_key != cached.prio_key) {
             std::fprintf(stderr,
                          "QUASAR_VERIFY: index entry for server %zu "
                          "matches the server's change epoch but not "
@@ -503,11 +642,13 @@ GreedyScheduler::auditIndexCoherence() const
                 std::abort();
             }
             const OrderBucket &b = order_buckets_[slot];
+            auto [fresh_cls, fresh_key] = feasibilityClass(fresh);
             if (b.platform_idx != fresh.platform_idx ||
                 std::bit_cast<uint64_t>(b.speed) !=
                     std::bit_cast<uint64_t>(fresh.speed) ||
                 b.sockets != fresh.sockets ||
                 b.socket_contention != fresh.socket_contention ||
+                b.cls != fresh_cls || b.prio_key != fresh_key ||
                 b.ids.count(ServerId(i)) == 0) {
                 std::fprintf(stderr,
                              "QUASAR_VERIFY: order bucket for server "
@@ -528,7 +669,7 @@ GreedyScheduler::auditIndexCoherence() const
         // duplicated entries).
         for (size_t p = 0; p < platform_order_.size(); ++p) {
             for (const auto &[speed, lvl] : platform_order_[p]) {
-                if (lvl.buckets.empty()) {
+                if (lvl.empty()) {
                     std::fprintf(stderr,
                                  "QUASAR_VERIFY: empty speed level "
                                  "%.17g on platform %zu in the "
@@ -536,30 +677,50 @@ GreedyScheduler::auditIndexCoherence() const
                                  speed, p);
                     std::abort();
                 }
-                for (size_t j = 0; j < lvl.buckets.size(); ++j) {
-                    const OrderBucket &b =
-                        order_buckets_[lvl.buckets[j]];
-                    if (b.platform_idx != p ||
-                        std::bit_cast<uint64_t>(b.speed) !=
-                            std::bit_cast<uint64_t>(speed) ||
-                        b.level_pos != j || b.ids.empty()) {
-                        std::fprintf(
-                            stderr,
-                            "QUASAR_VERIFY: order bucket %u "
-                            "misfiled under platform %zu speed "
-                            "%.17g\n",
-                            lvl.buckets[j], p, speed);
+                auto check_list =
+                    [&](const std::vector<uint32_t> &list,
+                        FeasClass cls, int prio_key) {
+                        for (size_t j = 0; j < list.size(); ++j) {
+                            const OrderBucket &b =
+                                order_buckets_[list[j]];
+                            if (b.platform_idx != p ||
+                                std::bit_cast<uint64_t>(b.speed) !=
+                                    std::bit_cast<uint64_t>(speed) ||
+                                b.cls != cls ||
+                                b.prio_key != prio_key ||
+                                b.level_pos != j || b.ids.empty()) {
+                                std::fprintf(
+                                    stderr,
+                                    "QUASAR_VERIFY: order bucket %u "
+                                    "misfiled under platform %zu "
+                                    "speed %.17g class %d\n",
+                                    list[j], p, speed, int(cls));
+                                std::abort();
+                            }
+                            ordered_members += b.ids.size();
+                        }
+                    };
+                check_list(lvl.open, FeasClass::Open, kNoPrio);
+                check_list(lvl.evict, FeasClass::Evict, kNoPrio);
+                for (const auto &[key, list] : lvl.prio) {
+                    if (list.empty()) {
+                        std::fprintf(stderr,
+                                     "QUASAR_VERIFY: empty prio-class "
+                                     "list (key %d) on platform %zu "
+                                     "speed %.17g\n",
+                                     key, p, speed);
                         std::abort();
                     }
-                    ordered_members += b.ids.size();
+                    check_list(list, FeasClass::Prio, key);
                 }
+                check_list(lvl.closed, FeasClass::Closed, kNoPrio);
             }
         }
-        if (ordered_members != cluster_.size()) {
+        if (ordered_members != expected_members) {
             std::fprintf(stderr,
                          "QUASAR_VERIFY: maintained order holds %zu "
-                         "members for %zu servers\n",
-                         ordered_members, cluster_.size());
+                         "members for %zu servers in this shard\n",
+                         ordered_members, expected_members);
             std::abort();
         }
     }
@@ -644,12 +805,14 @@ GreedyScheduler::rankedCandidates(const WorkloadEstimate &est) const
         // compare against a from-scratch sort by rankedBefore.
         refreshIndex();
         OrderStream stream;
-        beginOrderedCandidates(stream, est);
+        beginOrderedCandidates(stream, est, OrderFilter::everything());
         while (auto cand = nextOrderedCandidate(stream, est))
             out.push_back(*cand);
         return out;
     }
     for (size_t i = 0; i < cluster_.size(); ++i) {
+        if (!memberServer(ServerId(i)))
+            continue;
         const sim::Server &srv = cluster_.server(ServerId(i));
         out.emplace_back(serverQuality(srv, est), ServerId(i));
     }
@@ -826,13 +989,28 @@ GreedyScheduler::allocate(const Workload &w, const WorkloadEstimate &est,
     // Shadow scheduler oracle: every incremental-mode decision is
     // re-derived through the legacy full_rescan path; any divergence
     // aborts. full_rescan decisions are the oracle, so they are never
-    // shadowed (also what makes this non-recursive).
+    // shadowed (also what makes this non-recursive). A shard worker's
+    // decision is shadowed by a full_rescan oracle restricted to the
+    // same shard (the per-shard oracle of DESIGN.md §14).
     if (!cfg_.full_rescan)
         verify::shadowCheckAllocation(cluster_, cfg_, registry_, w,
                                       est, required_perf, estimates,
-                                      may_evict, decision);
+                                      may_evict, decision, shard_of_,
+                                      shard_id_);
 #endif
     return decision;
+}
+
+std::optional<Allocation>
+GreedyScheduler::allocateWithSource(const Workload &w,
+                                    const WorkloadEstimate &est,
+                                    double required_perf,
+                                    const EstimateLookup &estimates,
+                                    bool may_evict,
+                                    const CandidateFn &source) const
+{
+    return allocateImpl(w, est, required_perf, estimates, may_evict,
+                        &source);
 }
 
 std::optional<Allocation>
@@ -840,7 +1018,8 @@ GreedyScheduler::allocateImpl(const Workload &w,
                               const WorkloadEstimate &est,
                               double required_perf,
                               const EstimateLookup &estimates,
-                              bool may_evict) const
+                              bool may_evict,
+                              const CandidateFn *external) const
 {
     assert(est.scale_up_grid.size() == est.scale_up_perf.size());
     const double target = std::max(required_perf, 1e-9) * cfg_.headroom;
@@ -857,15 +1036,27 @@ GreedyScheduler::allocateImpl(const Workload &w,
     // k servers costs O(dirty + expanded levels + k log buckets).
     std::vector<std::pair<double, ServerId>> ranked;
     OrderStream stream;
-    const bool dirty = orderMaintained();
-    {
+    const bool dirty = orderMaintained() && !external;
+    if (!external) {
         stats::ScopedTimer timer(timing_.rank);
         if (dirty) {
             refreshIndex();
-            beginOrderedCandidates(stream, est);
+            // The maintained order partitions members by feasibility
+            // class, so the drain below emits exactly the servers the
+            // cached path's rank-time filter admits — the proven
+            // placement-preserving predicate — and skips saturated
+            // levels wholesale instead of emitting servers only for
+            // pickNodeConfig to reject them one by one.
+            OrderFilter filter;
+            filter.evict = may_evict;
+            if (may_evict && registry_)
+                filter.prio_below = w.priority;
+            beginOrderedCandidates(stream, est, filter);
         } else {
             ranked.reserve(cluster_.size());
             for (size_t i = 0; i < cluster_.size(); ++i) {
+                if (!memberServer(ServerId(i)))
+                    continue; // another shard's server
                 bool avail;
                 int free;
                 if (cfg_.full_rescan) {
@@ -918,14 +1109,17 @@ GreedyScheduler::allocateImpl(const Workload &w,
     // the heap on demand (popped elements settle, sorted, at the
     // tail); the dirty path pulls from the order stream, memoizing
     // into `ranked` so the fault-zone relaxation pass can rewind.
-    // All three present the identical order rankedBefore defines; the
-    // dirty stream additionally emits infeasible servers (down, or no
-    // free capacity even counting evictions), which pickNodeConfig
-    // rejects without mutating any placement state, so the chosen
-    // nodes are bit-identical across modes.
+    // All three present the identical order rankedBefore defines over
+    // the identical candidate set: the dirty stream's class filter is
+    // the same predicate the cached/full paths apply at rank time
+    // (down machines and servers without a free or evictable core are
+    // never emitted), so the chosen nodes are bit-identical across
+    // modes.
     size_t popped = 0;
     auto nth =
         [&](size_t i) -> std::optional<std::pair<double, ServerId>> {
+        if (external)
+            return (*external)(i);
         if (dirty) {
             while (ranked.size() <= i) {
                 auto cand = nextOrderedCandidate(stream, est);

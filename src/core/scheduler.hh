@@ -51,6 +51,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <optional>
 #include <set>
@@ -63,6 +64,11 @@
 #include "stats/timing.hh"
 #include "topology/topology.hh"
 #include "workload/workload.hh"
+
+namespace quasar::shard
+{
+class ShardedScheduler; // src/shard/ — the sharded decision path.
+}
 
 namespace quasar::core
 {
@@ -232,6 +238,21 @@ class GreedyScheduler
     std::vector<std::pair<double, ServerId>>
     rankedCandidates(const WorkloadEstimate &est) const;
 
+    /**
+     * Shard seam (src/shard/, DESIGN.md §14): restrict this scheduler
+     * to the servers whose entry in *shard_of equals `shard`. The
+     * index, maintained order, and journal replay then cover exactly
+     * that subset — the scheduler becomes one shard's decision
+     * worker, with its own cursor, cache, and candidate order. The
+     * table must outlive the scheduler and stay consistent with the
+     * cluster (the partitioner rebuilds it only on catalog/size
+     * change, which forces a re-prime here via the size check in
+     * refreshIndex). Passing nullptr lifts the restriction. Resets
+     * the index: the next refresh re-primes from scratch.
+     */
+    void restrictToShard(const std::vector<uint32_t> *shard_of,
+                         uint32_t shard);
+
 #ifdef QUASAR_VERIFY
     /**
      * Run the index/order coherence audit immediately, bypassing the
@@ -242,6 +263,10 @@ class GreedyScheduler
 #endif
 
   private:
+    /** The sharded decision path drives the private walk/drain seams
+     *  (allocateWithSource, beginOrderedCandidates) directly. */
+    friend class quasar::shard::ShardedScheduler;
+
     struct NodePick
     {
         size_t col = 0;
@@ -253,14 +278,47 @@ class GreedyScheduler
     };
 
     /**
+     * Feasibility class of a server for the candidate drain — a
+     * cached factorization of allocateImpl's rank-time filter (which
+     * the cached mode applies per decision, making the filtered drain
+     * placement-preserving by construction):
+     *  - Open:   available and ≥ 1 free core — emitted always.
+     *  - Evict:  available, no free core, but the always-evictable
+     *            best-effort pool covers one — emitted iff may_evict.
+     *  - Prio:   available, even the best-effort pool does not cover
+     *            a core, but a non-best-effort resident (with ≥ 1
+     *            core, known to the registry) could be preempted;
+     *            keyed by the minimum such resident priority —
+     *            emitted iff may_evict and key < w.priority.
+     *  - Closed: down, or nothing evictable — never emitted.
+     * Correct because a resident's registry priority is fixed while
+     * it holds shares (priorities are set before admission
+     * everywhere in the tree); the QUASAR_VERIFY index audit
+     * recomputes the class from live state and aborts on drift.
+     */
+    enum class FeasClass : uint8_t
+    {
+        Open = 0,
+        Evict = 1,
+        Prio = 2,
+        Closed = 3,
+    };
+
+    /** "No preemptible resident" sentinel for prio_key. */
+    static constexpr int kNoPrio = std::numeric_limits<int>::max();
+
+    /**
      * Workload-independent signature of a server's ranking state:
-     * platform index + socket count, speed factor, and the per-socket
+     * platform index + socket count, speed factor, the per-socket
      * newcomer-contention vectors (zero-padded to kMaxSockets so the
-     * flat single-socket partition is unchanged). Exactly the inputs
-     * of the quality expression, compared bitwise.
+     * flat single-socket partition is unchanged) — exactly the inputs
+     * of the quality expression, compared bitwise — plus the
+     * feasibility class word, so the level structure partitions
+     * members by drain eligibility and a filtered drain skips whole
+     * classes without touching their members.
      */
     using OrderSig =
-        std::array<uint64_t, 2 + size_t(topology::kMaxSockets) *
+        std::array<uint64_t, 3 + size_t(topology::kMaxSockets) *
                                      interference::kNumSources>;
 
     /**
@@ -289,6 +347,10 @@ class GreedyScheduler
         /** Catalog index of the server's platform (fixed per server;
          *  cached so the dirty-set walk never hashes a name). */
         size_t platform_idx = 0;
+        /** Minimum priority over non-best-effort residents holding at
+         *  least one core and known to the registry (kNoPrio when
+         *  none, or without a registry) — the Prio class key. */
+        int prio_key = kNoPrio;
     };
 
     /**
@@ -309,16 +371,36 @@ class GreedyScheduler
         std::array<interference::IVector, topology::kMaxSockets>
             socket_contention{};
         uint8_t sockets = 1;
+        /** Feasibility class of every member (part of the sig). */
+        FeasClass cls = FeasClass::Open;
+        /** Prio-class key (kNoPrio outside FeasClass::Prio). */
+        int prio_key = kNoPrio;
         /** Members, ascending (the rankedBefore tie-break order). */
         std::set<ServerId> ids;
-        /** Position inside its level's bucket list (swap-removal). */
+        /** Position inside its level's class list (swap-removal). */
         uint32_t level_pos = 0;
     };
 
-    /** Buckets of one (platform, speed) level, unordered within. */
+    /**
+     * Buckets of one (platform, speed) level, unordered within but
+     * partitioned by feasibility class so a filtered drain expands
+     * only eligible buckets and skips a fully-ineligible level in
+     * O(1) — this is what turns a saturated-cluster allocate failure
+     * from an O(N) emit-and-reject walk into an O(levels) probe.
+     */
     struct OrderLevel
     {
-        std::vector<uint32_t> buckets;
+        std::vector<uint32_t> open;
+        std::vector<uint32_t> evict;
+        /** Prio-class buckets by key; drained for keys < w.priority. */
+        std::map<int, std::vector<uint32_t>> prio;
+        std::vector<uint32_t> closed;
+
+        bool empty() const
+        {
+            return open.empty() && evict.empty() && prio.empty() &&
+                   closed.empty();
+        }
     };
 
     /** A platform's levels, fastest speed first. */
@@ -342,6 +424,28 @@ class GreedyScheduler
     };
 
     /**
+     * Which feasibility classes a drain may emit. everything() is the
+     * diagnostic view (rankedCandidates); allocate builds the filter
+     * from (may_evict, w.priority, registry) so the drained sequence
+     * is exactly the cached mode's rank-time filtered candidate set.
+     */
+    struct OrderFilter
+    {
+        bool all = false;       ///< emit every class (diagnostics).
+        bool evict = false;     ///< emit the Evict class.
+        /** Emit Prio buckets with key strictly below this (kNoPrio
+         *  sentinel min() disables the class). */
+        int prio_below = std::numeric_limits<int>::min();
+
+        static OrderFilter everything()
+        {
+            OrderFilter f;
+            f.all = true;
+            return f;
+        }
+    };
+
+    /**
      * Read-time drain state for one allocate: `exact` holds cursors
      * into expanded buckets (top = best (quality, id)); `pending`
      * holds the best unexpanded level per platform under an admissible
@@ -353,6 +457,7 @@ class GreedyScheduler
     {
         std::vector<OrderCursor> exact;
         std::vector<LevelCursor> pending;
+        OrderFilter filter;
     };
 
     /** Recompute e from srv's current state (all modes share this, so
@@ -382,9 +487,23 @@ class GreedyScheduler
     static bool cursorLess(const OrderCursor &a, const OrderCursor &b);
     static bool levelLess(const LevelCursor &a, const LevelCursor &b);
 
+    /** The feasibility class (and Prio key) the entry belongs to. */
+    static std::pair<FeasClass, int>
+    feasibilityClass(const ServerCacheEntry &e);
+
+    /** The level list holding buckets of the given class/key. */
+    static std::vector<uint32_t> &levelList(OrderLevel &lvl,
+                                            FeasClass cls,
+                                            int prio_key);
+
+    /** True when the filter admits buckets of this class/key. */
+    static bool filterAdmits(const OrderFilter &f, FeasClass cls,
+                             int prio_key);
+
     /** Start a drain of the maintained order for one estimate. */
     void beginOrderedCandidates(OrderStream &s,
-                                const WorkloadEstimate &est) const;
+                                const WorkloadEstimate &est,
+                                const OrderFilter &filter) const;
 
     /** Next candidate in (quality desc, id asc) order, or nullopt. */
     std::optional<std::pair<double, ServerId>>
@@ -399,12 +518,48 @@ class GreedyScheduler
      */
     void refreshIndex() const;
 
+    /**
+     * External candidate source for the greedy walk: i → the i-th
+     * best candidate or nullopt past the end. Must present a sequence
+     * ordered by rankedBefore and stable under re-reads of the same
+     * index (the fault-zone relaxation pass rewinds). The sharded
+     * commit phase injects its K-way shard merge through this.
+     */
+    using CandidateFn =
+        std::function<std::optional<std::pair<double, ServerId>>(
+            size_t)>;
+
     /** The greedy walk itself (allocate() wraps it so the verify
-     *  build can shadow-check each decision on the way out). */
+     *  build can shadow-check each decision on the way out). When
+     *  `external` is set the ranking phase is skipped entirely and
+     *  candidates are pulled from it instead. */
     std::optional<Allocation>
     allocateImpl(const workload::Workload &w,
                  const WorkloadEstimate &est, double required_perf,
-                 const EstimateLookup &estimates, bool may_evict) const;
+                 const EstimateLookup &estimates, bool may_evict,
+                 const CandidateFn *external = nullptr) const;
+
+    /**
+     * Shard-merge commit seam: the full greedy walk, fed by an
+     * injected candidate stream. State reads go through this
+     * instance's epoch-checked cache, which yields bitwise-identical
+     * values from any instance, so the caller only has to reproduce
+     * the unsharded candidate *order* to reproduce its placements.
+     */
+    std::optional<Allocation>
+    allocateWithSource(const workload::Workload &w,
+                       const WorkloadEstimate &est,
+                       double required_perf,
+                       const EstimateLookup &estimates, bool may_evict,
+                       const CandidateFn &source) const;
+
+    /** True when id belongs to this scheduler's shard (or no
+     *  restriction is installed). */
+    bool memberServer(ServerId id) const
+    {
+        return !shard_of_ || (size_t(id) < shard_of_->size() &&
+                              (*shard_of_)[size_t(id)] == shard_id_);
+    }
 
 #ifdef QUASAR_VERIFY
     /**
@@ -457,6 +612,10 @@ class GreedyScheduler
     const sim::Cluster &cluster_;
     SchedulerConfig cfg_;
     const workload::WorkloadRegistry *registry_;
+    /** Shard membership table + this scheduler's shard id (see
+     *  restrictToShard); nullptr = the whole cluster. */
+    const std::vector<uint32_t> *shard_of_ = nullptr;
+    uint32_t shard_id_ = 0;
 
     /** Platform-name→catalog-index map, built once per catalog. */
     mutable std::unordered_map<std::string, size_t> platform_idx_;

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Shard partitioning for the parallel decision path (DESIGN.md §14).
+ *
+ * The cluster is split into K shards by a stable hash of the server
+ * id: shardOf(id) is a pure function of (id, seed, K), so the
+ * assignment never depends on arrival order, cluster mutations, or
+ * wall clock, and a rebuild after a catalog or cluster-size change
+ * reproduces every existing server's shard bit-for-bit (only new ids
+ * gain entries). Each shard is then owned by one
+ * core::GreedyScheduler restricted to its members — its own
+ * ChangeJournal cursor, ranking cache, and maintained candidate
+ * order — and the ShardedScheduler resolves their work into one
+ * decision per the configured commit protocol.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace quasar::shard
+{
+
+/** How per-shard work is resolved into one cluster-level decision. */
+enum class CommitMode : uint8_t
+{
+    /**
+     * Deterministic shard-merge: the per-shard maintained orders are
+     * drained through a K-way merge under the scheduler's exact
+     * ranking rules (quality desc, id asc), and one committer walk
+     * consumes the merged stream. Because the merge reproduces the
+     * unsharded candidate order exactly, placements are bit-identical
+     * to the unsharded scheduler at ANY shard count.
+     */
+    DeterministicMerge = 0,
+    /**
+     * Omega-style optimistic concurrency: every shard runs the full
+     * greedy walk confined to its own servers, the proposals are
+     * resolved by a fixed-visit-order argmax (predicted performance,
+     * ties to the lower shard id), and the winner is validated
+     * against the shared cell state with bounded retry on conflict.
+     * Deterministic for a fixed (K, seed); placements may differ from
+     * the unsharded scheduler except at K=1, where the single shard
+     * IS the cluster.
+     */
+    Optimistic = 1,
+};
+
+/** Configuration of the sharded decision path. */
+struct ShardConfig
+{
+    /** Shard count K; 0 disables the sharded path entirely. K=1 runs
+     *  the subsystem with a single shard spanning the cluster and
+     *  must reproduce the unsharded hashes exactly. */
+    uint32_t shards = 0;
+    /** Partitioner hash seed — part of the replay contract: decision
+     *  and placement hashes are functions of (K, seed). */
+    uint64_t seed = 0x9E3779B97F4A7C15ULL;
+    CommitMode commit = CommitMode::DeterministicMerge;
+    /** Bounded retry for Optimistic commit validation failures. */
+    int max_commit_retries = 3;
+    /** Worker threads for the per-shard phase; 0 picks
+     *  min(shards, hardware_concurrency), and values ≤ 1 run the
+     *  phase inline on the caller (no threads, zero overhead). */
+    unsigned threads = 0;
+    /** Index mode of the per-shard workers (the dirty_set/cached
+     *  replay-contract axis; both must yield identical hashes). */
+    bool dirty_set = true;
+
+    bool enabled() const { return shards >= 1; }
+};
+
+/** FNV-1a over one 64-bit word, byte at a time (the repo's running-
+ *  hash idiom — bench/churn folds cluster state the same way). */
+inline uint64_t
+fnv1aWord(uint64_t h, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xFF;
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+/** FNV-1a offset basis (the running decision hash's start value). */
+constexpr uint64_t kDecisionHashBasis = 0xCBF29CE484222325ULL;
+
+/**
+ * Fold one committed allocation node into the running decision hash:
+ * workload id in the low bits, the home socket at bit 48 (exactly the
+ * §13 socket fold), and the owning shard at bit 56. Unsharded runs
+ * and K=1 both fold shard 0, so their decision hashes coincide by
+ * construction.
+ */
+inline uint64_t
+foldDecision(uint64_t h, WorkloadId workload, int socket,
+             uint32_t shard_id)
+{
+    return fnv1aWord(h, uint64_t(workload) |
+                            uint64_t(uint8_t(socket)) << 48 |
+                            uint64_t(uint8_t(shard_id)) << 56);
+}
+
+/**
+ * The deterministic shard partitioner: a table of server id → shard,
+ * rebuilt only when the cluster's size changes (catalog changes
+ * re-prime the workers but cannot move a server between shards —
+ * the hash ignores everything but the id).
+ */
+class Partitioner
+{
+  public:
+    Partitioner(uint32_t shards, uint64_t seed)
+        : shards_(shards == 0 ? 1 : shards), seed_(seed)
+    {
+    }
+
+    /** Pure stable hash: shard of a server id under (seed, K). */
+    static uint32_t shardHash(ServerId id, uint64_t seed,
+                              uint32_t shards)
+    {
+        uint64_t h = fnv1aWord(kDecisionHashBasis, seed);
+        h = fnv1aWord(h, uint64_t(id));
+        return uint32_t(h % uint64_t(shards));
+    }
+
+    /**
+     * Grow/rebuild the table to cover `cluster_size` servers.
+     * Existing ids keep their shard (the hash is pure); only the
+     * table's coverage changes. Returns true when the table changed,
+     * which callers use to re-prime the per-shard workers.
+     */
+    bool sync(size_t cluster_size)
+    {
+        if (table_.size() == cluster_size)
+            return false;
+        size_t old = table_.size();
+        table_.resize(cluster_size);
+        for (size_t i = old < cluster_size ? old : 0;
+             i < cluster_size; ++i)
+            table_[i] = shardHash(ServerId(i), seed_, shards_);
+        return true;
+    }
+
+    uint32_t shards() const { return shards_; }
+    uint64_t seed() const { return seed_; }
+
+    /** The membership table GreedyScheduler::restrictToShard reads.
+     *  Stable address for the Partitioner's lifetime. */
+    const std::vector<uint32_t> &table() const { return table_; }
+
+    uint32_t shardOf(ServerId id) const { return table_[size_t(id)]; }
+
+    /** Member count per shard (diagnostics; shards may be empty —
+     *  e.g. K greater than the server count). */
+    std::vector<size_t> memberCounts() const
+    {
+        std::vector<size_t> counts(shards_, 0);
+        for (uint32_t s : table_)
+            ++counts[s];
+        return counts;
+    }
+
+  private:
+    uint32_t shards_;
+    uint64_t seed_;
+    std::vector<uint32_t> table_;
+};
+
+} // namespace quasar::shard

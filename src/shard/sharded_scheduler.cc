@@ -1,0 +1,396 @@
+#include "shard/sharded_scheduler.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+#ifdef QUASAR_VERIFY
+#include <cstdio>
+#include <cstdlib>
+
+// Sanctioned upward edge: the shadow oracle hooks in under
+// QUASAR_VERIFY only. quasar-lint: allow(layering)
+#include "verify/verify.hh"
+#endif
+
+namespace quasar::shard
+{
+
+using core::GreedyScheduler;
+using workload::Workload;
+
+namespace
+{
+
+/** The scheduler's ranking order: quality desc, id asc on ties. */
+bool
+rankedBefore(const std::pair<double, ServerId> &a,
+             const std::pair<double, ServerId> &b)
+{
+    if (a.first != b.first)
+        return a.first > b.first;
+    return a.second < b.second;
+}
+
+} // namespace
+
+ShardedScheduler::ShardedScheduler(
+    const sim::Cluster &cluster, core::SchedulerConfig sched_cfg,
+    ShardConfig cfg, const workload::WorkloadRegistry *registry)
+    : cluster_(cluster), sched_cfg_(sched_cfg), cfg_(cfg),
+      registry_(registry),
+      partitioner_(cfg.shards, cfg.seed),
+      committer_(cluster,
+                 [&] {
+                     // The merge-commit walker reads state through
+                     // the epoch-checked cache path (no maintained
+                     // order, no journal cursor of its own): its
+                     // refreshEntry values are bitwise identical to
+                     // every worker's, so only the candidate ORDER
+                     // decides placements — and that comes from the
+                     // shard merge.
+                     core::SchedulerConfig c = sched_cfg;
+                     c.dirty_set = false;
+                     c.full_rescan = false;
+                     return c;
+                 }(),
+                 registry),
+      pool_(effectiveThreads())
+{
+    assert(cfg_.enabled());
+    syncPartition();
+}
+
+unsigned
+ShardedScheduler::effectiveThreads() const
+{
+#ifdef QUASAR_VERIFY
+    // The verify layer's process-wide counters and shadow oracle are
+    // deliberately unsynchronized; verification builds serialize the
+    // per-shard phase (the replay contract is thread-count
+    // independent, so this changes nothing observable).
+    return 1;
+#else
+    unsigned want = cfg_.threads != 0
+                        ? cfg_.threads
+                        : std::max(1u,
+                                   std::thread::hardware_concurrency());
+    return std::min(want, partitioner_.shards());
+#endif
+}
+
+void
+ShardedScheduler::syncPartition() const
+{
+    bool rebuilt = partitioner_.sync(cluster_.size());
+    if (!rebuilt && !workers_.empty())
+        return;
+    if (workers_.empty()) {
+        core::SchedulerConfig worker_cfg = sched_cfg_;
+        worker_cfg.dirty_set = cfg_.dirty_set;
+        worker_cfg.full_rescan = false;
+        workers_.reserve(partitioner_.shards());
+        for (uint32_t k = 0; k < partitioner_.shards(); ++k)
+            workers_.push_back(std::make_unique<GreedyScheduler>(
+                cluster_, worker_cfg, registry_));
+    }
+    // (Re)install the membership restriction: the table's address is
+    // stable, but a rebuild may have re-covered new servers, and
+    // restrictToShard forces each worker to re-prime its index over
+    // the current member set.
+    for (uint32_t k = 0; k < partitioner_.shards(); ++k)
+        workers_[k]->restrictToShard(&partitioner_.table(), k);
+}
+
+std::optional<core::Allocation>
+ShardedScheduler::allocate(const Workload &w,
+                           const core::WorkloadEstimate &est,
+                           double required_perf,
+                           const core::EstimateLookup &estimates,
+                           bool may_evict) const
+{
+    ++stats_.decisions;
+    std::optional<core::Allocation> decision =
+        cfg_.commit == CommitMode::Optimistic
+            ? allocateOptimistic(w, est, required_perf, estimates,
+                                 may_evict)
+            : allocateMerge(w, est, required_perf, estimates,
+                            may_evict);
+#ifdef QUASAR_VERIFY
+    // Cross-shard conservation sweep, sampled like the index audit.
+    if (++audit_allocs_ % 64 == 0)
+        auditShardsNow();
+    // The merge commit is a whole-cluster decision, so its oracle is
+    // the unrestricted full_rescan walk (Optimistic proposals were
+    // already shadow-checked per shard inside each worker's
+    // allocate).
+    if (cfg_.commit == CommitMode::DeterministicMerge)
+        verify::shadowCheckAllocation(cluster_, sched_cfg_, registry_,
+                                      w, est, required_perf, estimates,
+                                      may_evict, decision);
+#endif
+    if (decision)
+        foldCommit(*decision, w);
+    return decision;
+}
+
+std::optional<core::Allocation>
+ShardedScheduler::allocateMerge(const Workload &w,
+                                const core::WorkloadEstimate &est,
+                                double required_perf,
+                                const core::EstimateLookup &estimates,
+                                bool may_evict) const
+{
+    syncPartition();
+    const uint32_t shards = partitioner_.shards();
+
+    // The same feasibility filter allocateImpl's dirty drain applies:
+    // the merged stream must be the unsharded candidate sequence.
+    GreedyScheduler::OrderFilter filter;
+    filter.evict = may_evict;
+    if (may_evict && registry_)
+        filter.prio_below = w.priority;
+
+    // One feed per shard: a drain of the worker's maintained order
+    // (dirty workers), or its sorted filtered candidate list (cached
+    // workers) — identical sequences either way, per the per-worker
+    // replay contract.
+    struct ShardFeed
+    {
+        GreedyScheduler *sched = nullptr;
+        GreedyScheduler::OrderStream order;
+        std::vector<std::pair<double, ServerId>> sorted;
+        size_t pos = 0;
+        bool use_order = false;
+        std::optional<std::pair<double, ServerId>> head;
+    };
+    std::vector<ShardFeed> feeds(shards);
+
+    // Parallel per-shard phase: refresh each shard's index from its
+    // own journal cursor and open its candidate stream. Workers touch
+    // only their own state plus const cluster reads, so the batch is
+    // race-free by construction (and the TSan suite drives it with
+    // real threads).
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(shards);
+    for (uint32_t k = 0; k < shards; ++k) {
+        ShardFeed &f = feeds[k];
+        f.sched = workers_[k].get();
+        f.use_order = f.sched->orderMaintained();
+        tasks.push_back([this, &f, &w, &est, &filter, may_evict] {
+            if (f.use_order) {
+                f.sched->refreshIndex();
+                f.sched->beginOrderedCandidates(f.order, est, filter);
+            } else {
+                f.sorted = cachedShardCandidates(*f.sched, w, est,
+                                                 may_evict);
+            }
+        });
+    }
+    pool_.runBatch(tasks);
+
+    auto advance = [&est](ShardFeed &f) {
+        if (f.use_order) {
+            f.head = f.sched->nextOrderedCandidate(f.order, est);
+        } else if (f.pos < f.sorted.size()) {
+            f.head = f.sorted[f.pos++];
+        } else {
+            f.head = std::nullopt;
+        }
+    };
+    for (ShardFeed &f : feeds)
+        advance(f);
+
+    // Lazy K-way merge under the global ranking rules. Server ids are
+    // unique across shards, so rankedBefore is a total order and the
+    // merged sequence equals the unsharded drain regardless of K.
+    std::vector<std::pair<double, ServerId>> merged;
+    GreedyScheduler::CandidateFn source =
+        [&](size_t i) -> std::optional<std::pair<double, ServerId>> {
+        while (merged.size() <= i) {
+            int best = -1;
+            for (uint32_t k = 0; k < shards; ++k) {
+                if (!feeds[k].head)
+                    continue;
+                if (best < 0 ||
+                    rankedBefore(*feeds[k].head, *feeds[best].head))
+                    best = int(k);
+            }
+            if (best < 0)
+                return std::nullopt;
+            merged.push_back(*feeds[size_t(best)].head);
+            advance(feeds[size_t(best)]);
+        }
+        return merged[i];
+    };
+
+    std::optional<core::Allocation> decision =
+        committer_.allocateWithSource(w, est, required_perf, estimates,
+                                      may_evict, source);
+    ++stats_.merge_commits;
+    return decision;
+}
+
+std::vector<std::pair<double, ServerId>>
+ShardedScheduler::cachedShardCandidates(
+    GreedyScheduler &g, const Workload &w,
+    const core::WorkloadEstimate &est, bool may_evict) const
+{
+    // Mirror of allocateImpl's cached-mode rank filter, restricted to
+    // the worker's members: identical expressions on identical cached
+    // state, so the sorted result is the dirty drain's sequence bit
+    // for bit.
+    std::vector<std::pair<double, ServerId>> out;
+    for (size_t i = 0; i < cluster_.size(); ++i) {
+        if (!g.memberServer(ServerId(i)))
+            continue;
+        const sim::Server &srv = cluster_.server(ServerId(i));
+        const auto &e = g.cachedState(srv);
+        bool avail = e.available;
+        int free = e.free_cores;
+        if (avail && may_evict)
+            free += e.be_cores;
+        if (avail && free < 1 && may_evict && g.registry_) {
+            double pm = 0.0, ps = 0.0;
+            g.priorityEvictable(srv, w, free, pm, ps);
+        }
+        if (!avail || free < 1)
+            continue;
+        out.emplace_back(g.serverQuality(srv, est), ServerId(i));
+    }
+    std::sort(out.begin(), out.end(), rankedBefore);
+    return out;
+}
+
+std::optional<core::Allocation>
+ShardedScheduler::allocateOptimistic(
+    const Workload &w, const core::WorkloadEstimate &est,
+    double required_perf, const core::EstimateLookup &estimates,
+    bool may_evict) const
+{
+    syncPartition();
+    const uint32_t shards = partitioner_.shards();
+    std::vector<std::optional<core::Allocation>> proposals(shards);
+
+    for (int attempt = 0; attempt <= cfg_.max_commit_retries;
+         ++attempt) {
+        // Propose in parallel: every shard runs the full greedy walk
+        // confined to its members, against cell state as of its own
+        // journal replay.
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(shards);
+        for (uint32_t k = 0; k < shards; ++k) {
+            tasks.push_back([this, k, &proposals, &w, &est,
+                             required_perf, &estimates, may_evict] {
+                proposals[k] = workers_[k]->allocate(
+                    w, est, required_perf, estimates, may_evict);
+            });
+        }
+        pool_.runBatch(tasks);
+
+        // Fixed-visit-order argmax: best predicted performance, ties
+        // to the lower shard id — deterministic for a fixed (K, seed)
+        // regardless of which thread ran which shard.
+        int best = -1;
+        for (uint32_t k = 0; k < shards; ++k) {
+            if (!proposals[k])
+                continue;
+            if (best < 0 || proposals[k]->predicted_perf >
+                                proposals[size_t(best)]->predicted_perf)
+                best = int(k);
+        }
+        if (best < 0)
+            return std::nullopt; // no shard can place anything
+
+        if (commit_hook_)
+            commit_hook_(); // test seam: induce a commit conflict
+
+        // Omega-style validation against the shared cell state: the
+        // winning proposal commits only if every server it claims is
+        // still at the change epoch the proposal was computed
+        // against; otherwise the round conflicts and we re-propose
+        // (bounded).
+        if (validateProposal(*proposals[size_t(best)],
+                             uint32_t(best))) {
+            ++stats_.optimistic_commits;
+            return proposals[size_t(best)];
+        }
+        ++stats_.commit_conflicts;
+        if (attempt < cfg_.max_commit_retries)
+            ++stats_.commit_retries;
+    }
+    // Retry budget exhausted: abort the transaction (the admission
+    // queue re-submits on its own schedule).
+    return std::nullopt;
+}
+
+bool
+ShardedScheduler::validateProposal(const core::Allocation &a,
+                                   uint32_t k) const
+{
+    const auto &cache = workers_[k]->cache_;
+    for (const core::AllocationNode &n : a.nodes) {
+        const sim::Server &srv = cluster_.server(n.server);
+        if (!srv.available())
+            return false;
+        if (size_t(n.server) >= cache.size() ||
+            cache[size_t(n.server)].version != srv.version())
+            return false;
+    }
+    return true;
+}
+
+void
+ShardedScheduler::foldCommit(const core::Allocation &a,
+                             const Workload &w) const
+{
+    for (const core::AllocationNode &n : a.nodes)
+        decision_hash_ =
+            foldDecision(decision_hash_, w.id, n.socket,
+                         partitioner_.shardOf(n.server));
+}
+
+#ifdef QUASAR_VERIFY
+void
+ShardedScheduler::auditShardsNow() const
+{
+    ++verify::counters().shard_sweeps;
+    const std::vector<uint32_t> &table = partitioner_.table();
+    if (table.size() != cluster_.size()) {
+        std::fprintf(stderr,
+                     "QUASAR_VERIFY: shard table covers %zu servers "
+                     "but the cluster has %zu\n",
+                     table.size(), cluster_.size());
+        std::abort();
+    }
+    std::vector<size_t> counts(partitioner_.shards(), 0);
+    for (size_t i = 0; i < table.size(); ++i) {
+        if (table[i] >= partitioner_.shards()) {
+            std::fprintf(stderr,
+                         "QUASAR_VERIFY: server %zu assigned to "
+                         "shard %u of %u\n",
+                         i, table[i], partitioner_.shards());
+            std::abort();
+        }
+        ++counts[table[i]];
+    }
+    size_t total = 0;
+    for (size_t c : counts)
+        total += c;
+    if (total != cluster_.size()) {
+        std::fprintf(stderr,
+                     "QUASAR_VERIFY: shard member counts sum to %zu "
+                     "for %zu servers — a server is in zero or two "
+                     "shards\n",
+                     total, cluster_.size());
+        std::abort();
+    }
+    // Per-shard structural oracle: every primed worker's index and
+    // maintained order must hold exactly its members, coherently.
+    for (uint32_t k = 0; k < partitioner_.shards(); ++k)
+        if (workers_[k]->index_primed_)
+            workers_[k]->auditIndexCoherenceNow();
+}
+#endif
+
+} // namespace quasar::shard

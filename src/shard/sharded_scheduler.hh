@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The sharded, parallel decision path (DESIGN.md §14).
+ *
+ * K per-shard core::GreedyScheduler workers — each restricted to the
+ * servers the deterministic Partitioner assigns it, each with its own
+ * ChangeJournal cursor, ranking cache, and maintained candidate
+ * order — run the refresh/rank phase in parallel on a WorkerPool,
+ * and a commit phase resolves their work into one decision:
+ *
+ *  - CommitMode::DeterministicMerge (default): one committer walk
+ *    consumes a K-way merge of the per-shard candidate streams under
+ *    the exact global ranking rules; placements are bit-identical to
+ *    the unsharded scheduler at any K.
+ *  - CommitMode::Optimistic: Omega-style — every shard proposes a
+ *    full allocation confined to its servers, a fixed-visit-order
+ *    argmax picks the winner, and the winner is validated against
+ *    the shared cell state (per-server change epochs) with bounded
+ *    retry on conflict.
+ *
+ * Replay contract: for a fixed (K, seed) the decision hash and the
+ * resulting placements are bit-identical across runs and across the
+ * workers' dirty_set/cached index modes; K=1 reproduces the
+ * unsharded scheduler's hashes exactly. The running decision hash
+ * folds (workload, socket, shard) per committed node — the shard id
+ * occupies bit 56 the same way §13 folded the socket at bit 48, and
+ * is 0 for K=1, keeping the unsharded definition unchanged.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/scheduler.hh"
+#include "shard/shard.hh"
+#include "shard/worker_pool.hh"
+#include "sim/cluster.hh"
+#include "workload/workload.hh"
+
+namespace quasar::shard
+{
+
+/** Commit-protocol observability (all modes; monotone counters). */
+struct ShardStats
+{
+    uint64_t decisions = 0;         ///< allocate() calls.
+    uint64_t merge_commits = 0;     ///< decisions via the merge walk.
+    uint64_t optimistic_commits = 0;///< decisions via proposal argmax.
+    uint64_t commit_conflicts = 0;  ///< validation failures observed.
+    uint64_t commit_retries = 0;    ///< re-proposal rounds taken.
+};
+
+/** The sharded decision front-end; one per manager when enabled. */
+class ShardedScheduler
+{
+  public:
+    ShardedScheduler(const sim::Cluster &cluster,
+                     core::SchedulerConfig sched_cfg, ShardConfig cfg,
+                     const workload::WorkloadRegistry *registry =
+                         nullptr);
+
+    /** Drop-in for GreedyScheduler::allocate — same semantics, same
+     *  signature, resolved through the configured commit protocol. */
+    std::optional<core::Allocation>
+    allocate(const workload::Workload &w,
+             const core::WorkloadEstimate &est, double required_perf,
+             const core::EstimateLookup &estimates,
+             bool may_evict) const;
+
+    /** Running FNV-1a decision hash (see the file comment). */
+    uint64_t decisionHash() const { return decision_hash_; }
+
+    const ShardConfig &config() const { return cfg_; }
+    const Partitioner &partitioner() const { return partitioner_; }
+    const ShardStats &stats() const { return stats_; }
+
+    /** Worker for shard k (tests/diagnostics). */
+    const core::GreedyScheduler &shardWorker(uint32_t k) const
+    {
+        return *workers_[k];
+    }
+
+    /**
+     * Test seam for the Omega conflict path: invoked between proposal
+     * argmax and commit validation on every attempt — a test that
+     * mutates the chosen servers here forces a validation failure and
+     * exercises the bounded-retry machinery deterministically.
+     */
+    void setCommitHookForTest(std::function<void()> hook)
+    {
+        commit_hook_ = std::move(hook);
+    }
+
+#ifdef QUASAR_VERIFY
+    /** Run the cross-shard conservation sweep immediately. */
+    void auditShardsNow() const;
+#endif
+
+  private:
+    /** Rebuild partition/workers when the cluster size moved. */
+    void syncPartition() const;
+
+    /** Threads the per-shard phase actually uses this run. */
+    unsigned effectiveThreads() const;
+
+    std::optional<core::Allocation>
+    allocateMerge(const workload::Workload &w,
+                  const core::WorkloadEstimate &est,
+                  double required_perf,
+                  const core::EstimateLookup &estimates,
+                  bool may_evict) const;
+
+    std::optional<core::Allocation>
+    allocateOptimistic(const workload::Workload &w,
+                       const core::WorkloadEstimate &est,
+                       double required_perf,
+                       const core::EstimateLookup &estimates,
+                       bool may_evict) const;
+
+    /** Omega commit validation: every node's server must still be at
+     *  the change epoch shard k's proposal was computed against. */
+    bool validateProposal(const core::Allocation &a, uint32_t k) const;
+
+    /** Cached-mode shard feed: worker g's members scored and sorted
+     *  under the exact rank-time filter allocateImpl applies. */
+    std::vector<std::pair<double, ServerId>>
+    cachedShardCandidates(core::GreedyScheduler &g,
+                          const workload::Workload &w,
+                          const core::WorkloadEstimate &est,
+                          bool may_evict) const;
+
+    /** Fold a committed decision into the running hash. */
+    void foldCommit(const core::Allocation &a,
+                    const workload::Workload &w) const;
+
+    const sim::Cluster &cluster_;
+    core::SchedulerConfig sched_cfg_;
+    ShardConfig cfg_;
+    const workload::WorkloadRegistry *registry_;
+
+    mutable Partitioner partitioner_;
+    /** Per-shard workers (stable addresses; restricted via the
+     *  partitioner's table). */
+    mutable std::vector<std::unique_ptr<core::GreedyScheduler>>
+        workers_;
+    /** The merge-commit walker: an unrestricted cached-index
+     *  scheduler whose epoch-checked state reads are bitwise
+     *  identical to any worker's, fed by the merged stream. */
+    mutable core::GreedyScheduler committer_;
+    mutable WorkerPool pool_;
+    mutable uint64_t decision_hash_ = kDecisionHashBasis;
+    mutable ShardStats stats_;
+    std::function<void()> commit_hook_;
+#ifdef QUASAR_VERIFY
+    mutable uint64_t audit_allocs_ = 0;
+#endif
+};
+
+} // namespace quasar::shard

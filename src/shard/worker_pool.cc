@@ -1,0 +1,86 @@
+#include "shard/worker_pool.hh"
+
+namespace quasar::shard
+{
+
+WorkerPool::WorkerPool(unsigned threads)
+{
+    if (threads <= 1)
+        return; // inline mode: no threads, no synchronization
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+WorkerPool::runBatch(const std::vector<std::function<void()>> &tasks)
+{
+    if (tasks.empty())
+        return;
+    if (workers_.empty()) {
+        // Inline mode: index order, caller's thread. This is the
+        // whole path on single-core hosts.
+        for (const auto &task : tasks)
+            task();
+        return;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    batch_ = &tasks;
+    next_task_ = 0;
+    in_flight_ = 0;
+    ++generation_;
+    work_cv_.notify_all();
+    // The caller participates too: claim tasks until none remain,
+    // then wait out stragglers. Keeps the barrier tight and makes a
+    // 1-worker pool still use two lanes (caller + worker).
+    while (batch_ && next_task_ < batch_->size()) {
+        size_t idx = next_task_++;
+        ++in_flight_;
+        lock.unlock();
+        (*batch_)[idx]();
+        lock.lock();
+        --in_flight_;
+    }
+    done_cv_.wait(lock, [this] {
+        return next_task_ >= batch_->size() && in_flight_ == 0;
+    });
+    batch_ = nullptr;
+}
+
+void
+WorkerPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    uint64_t seen = 0;
+    while (true) {
+        work_cv_.wait(lock, [&] {
+            return stop_ || (batch_ && generation_ != seen &&
+                             next_task_ < batch_->size());
+        });
+        if (stop_)
+            return;
+        while (batch_ && next_task_ < batch_->size()) {
+            size_t idx = next_task_++;
+            ++in_flight_;
+            lock.unlock();
+            (*batch_)[idx]();
+            lock.lock();
+            if (--in_flight_ == 0 && next_task_ >= batch_->size())
+                done_cv_.notify_all();
+        }
+        seen = generation_;
+    }
+}
+
+} // namespace quasar::shard

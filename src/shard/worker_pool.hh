@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fixed-size worker pool for the per-shard decision phase.
+ *
+ * runBatch() executes a batch of independent tasks and returns only when
+ * every task has finished — a barrier, which is what makes the
+ * sharded decision path deterministic: tasks write to disjoint
+ * per-shard slots, and nothing downstream reads a slot before the
+ * barrier. With ≤ 1 effective thread the batch runs inline on the
+ * caller, in index order, with zero synchronization — the pool adds
+ * no overhead on single-core hosts, where the sharded path's win is
+ * the algorithmic one (per-shard incremental indexes), not
+ * parallelism.
+ *
+ * Threads are created once and parked on a condition variable; the
+ * same pool is reused across every decision, so the per-allocate
+ * cost is one lock + notify per batch, not thread churn.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace quasar::shard
+{
+
+/** Barrier-style pool: run a batch of independent tasks, wait all. */
+class WorkerPool
+{
+  public:
+    /** @param threads worker count; ≤ 1 means inline execution. */
+    explicit WorkerPool(unsigned threads);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Worker threads actually running (0 = inline mode). */
+    unsigned threads() const { return unsigned(workers_.size()); }
+
+    /**
+     * Execute every task and return once all have completed. Tasks
+     * must be independent (no ordering among them); each batch is a
+     * full barrier. Must not be called concurrently with itself.
+     */
+    void runBatch(const std::vector<std::function<void()>> &tasks);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable work_cv_; ///< workers wait for a batch.
+    std::condition_variable done_cv_; ///< runBatch() waits for the barrier.
+    const std::vector<std::function<void()>> *batch_ = nullptr;
+    size_t next_task_ = 0;    ///< next unclaimed task in the batch.
+    size_t in_flight_ = 0;    ///< claimed but unfinished tasks.
+    uint64_t generation_ = 0; ///< batch sequence number.
+    bool stop_ = false;
+};
+
+} // namespace quasar::shard

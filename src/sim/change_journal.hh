@@ -27,10 +27,35 @@
  * front every cap/2 notes, a periodic latency spike in the tick loop
  * at scale. The absolute-offset contract (base()/end()/at()) is
  * unchanged; only the retained window's physical layout moved.
+ *
+ * Multi-reader cursor contract (the shard decision path fans the
+ * journal out to K per-shard readers, each with its own cursor):
+ *
+ *  1. Reads (base()/end()/at()/totalNoted()) are const and touch no
+ *     mutable state, so any number of reader threads may call them
+ *     concurrently — the per-shard refresh phase does exactly that.
+ *  2. note() is single-writer and must never run concurrently with a
+ *     reader: the simulation mutates servers (and notes them) only
+ *     between decision phases, never during one. This phasing is the
+ *     synchronization; the journal itself carries no locks.
+ *  3. Compaction only advances base() — retained offsets keep their
+ *     values and entries never move to a different absolute offset.
+ *     A reader must therefore snapshot `end()` once, replay
+ *     [cursor, end), and resync its cursor to that snapshot.
+ *  4. A laggard whose cursor < base() has lost entries to compaction
+ *     (its window was dropped while it sat out); at() would serve it
+ *     entries from the *wrong* offsets, so readers MUST check
+ *     cursor >= base() before replaying and otherwise fall back to a
+ *     full version-check scan, then resync to end(). at() asserts
+ *     the window so a reader that skips the check dies loudly in
+ *     debug builds instead of replaying aliased entries. With K
+ *     cursors the laggard check is per-reader: one shard falling
+ *     back never perturbs the others' incremental replay.
  */
 
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -74,6 +99,10 @@ class ChangeJournal
     /** Entry at absolute offset pos (base() <= pos < end()). */
     ServerId at(uint64_t pos) const
     {
+        // A cursor behind base() was compacted away; serving it would
+        // alias a newer entry at the wrapped slot (see the laggard
+        // clause of the multi-reader contract above).
+        assert(pos >= base_ && pos < end());
         return ring_[wrap(head_ + size_t(pos - base_))];
     }
 

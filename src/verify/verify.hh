@@ -56,6 +56,11 @@ struct Counters
     /** Full index-coherence audits executed (sampled per refresh,
      *  plus any test-forced unsampled runs). */
     uint64_t index_audits = 0;
+    /** Cross-shard conservation sweeps (sampled per sharded
+     *  allocate): partition table coverage, range, and exactly-one-
+     *  shard-per-server accounting, plus every primed worker's
+     *  per-shard index-coherence audit. */
+    uint64_t shard_sweeps = 0;
 };
 
 /** Mutable access to the process-wide counters. */
@@ -75,13 +80,17 @@ void sweepCluster(const sim::Cluster &cluster,
  * and abort unless the primary decision matches it exactly (node list,
  * sizing columns, evictions, knobs, predicted performance — doubles
  * compared bitwise). Called by GreedyScheduler::allocate for every
- * decision its incremental modes take.
+ * decision its incremental modes take. When the primary is a shard
+ * worker (shard_of != nullptr), the oracle is restricted to the same
+ * shard — the per-shard shadow oracle of DESIGN.md §14.
  */
 void shadowCheckAllocation(
     const sim::Cluster &cluster, const core::SchedulerConfig &cfg,
     const workload::WorkloadRegistry *registry,
     const workload::Workload &w, const core::WorkloadEstimate &est,
     double required_perf, const core::EstimateLookup &estimates,
-    bool may_evict, const std::optional<core::Allocation> &primary);
+    bool may_evict, const std::optional<core::Allocation> &primary,
+    const std::vector<uint32_t> *shard_of = nullptr,
+    uint32_t shard_id = 0);
 
 } // namespace quasar::verify

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/classifier.hh"
@@ -322,4 +323,93 @@ TEST(ChangeJournal, DirtySetTracksJournalAcrossDifferentCatalogs)
                 w.apply(id, *a);
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Multi-reader cursor contract (the shard decision path's K readers)
+// ---------------------------------------------------------------------
+
+TEST(ChangeJournal, ConcurrentReadersReplayTheSameWindow)
+{
+    // Contract clause 1: reads are const and lock-free, so any number
+    // of reader threads may replay concurrently — exactly what the
+    // per-shard refresh phase does. Under TSan this test is the proof
+    // there is no hidden mutable state on the read path.
+    sim::ChangeJournal j(256);
+    for (int i = 0; i < 200; ++i)
+        j.note(ServerId(i % 40));
+
+    const uint64_t snapshot_base = j.base();
+    const uint64_t snapshot_end = j.end();
+    std::vector<std::thread> readers;
+    std::vector<uint64_t> sums(4, 0);
+    for (size_t r = 0; r < sums.size(); ++r)
+        readers.emplace_back([&, r] {
+            uint64_t sum = 0;
+            for (uint64_t pos = snapshot_base; pos < snapshot_end;
+                 ++pos)
+                sum += uint64_t(j.at(pos));
+            sums[r] = sum;
+        });
+    for (std::thread &t : readers)
+        t.join();
+    for (size_t r = 1; r < sums.size(); ++r)
+        EXPECT_EQ(sums[r], sums[0]) << "reader " << r;
+}
+
+TEST(ChangeJournal, LaggardCursorAmongMultipleReadersFallsBackAlone)
+{
+    // Contract clause 4, the regression the shard path depends on:
+    // with K independent cursors, ONE reader falling behind a
+    // compaction must full-scan and resync, while a reader that kept
+    // up replays incrementally — and both then agree with the legacy
+    // full-rescan referee decision-for-decision.
+    JournalWorld w(sim::Cluster::localCluster(), 29);
+    SchedulerConfig rescan_cfg;
+    rescan_cfg.full_rescan = true;
+    GreedyScheduler laggard(w.cluster, SchedulerConfig{});
+    GreedyScheduler current(w.cluster, SchedulerConfig{});
+    GreedyScheduler rescan(w.cluster, rescan_cfg);
+
+    // Prime both dirty readers.
+    auto [id0, est0] = w.make(w.factory.hadoopJob("prime", 35.0));
+    auto p1 = laggard.allocate(w.registry.get(id0), est0, 35.0, nullptr,
+                               false);
+    expectSameAllocation(p1,
+                         current.allocate(w.registry.get(id0), est0,
+                                          35.0, nullptr, false),
+                         "prime laggard vs current");
+    expectSameAllocation(p1,
+                         rescan.allocate(w.registry.get(id0), est0,
+                                         35.0, nullptr, false),
+                         "prime vs rescan");
+    ASSERT_TRUE(p1.has_value());
+    w.apply(id0, *p1);
+
+    // Storm in bursts; only `current` refreshes between bursts, so
+    // its cursor rides the compactions while the laggard's falls off
+    // the retained window.
+    interference::IVector poke = interference::zeroVector();
+    poke[0] = 0.05;
+    auto [probe_id, probe] = w.make(w.factory.hadoopJob("probe", 20.0));
+    (void)probe_id;
+    for (int burst = 0; burst < 40; ++burst) {
+        for (size_t s = 0; s < w.cluster.size(); ++s) {
+            w.cluster.server(ServerId(s)).injectPressure(poke);
+            w.cluster.server(ServerId(s)).clearInjectedPressure();
+        }
+        // Read-only probe: keeps current's cursor at end() without
+        // mutating the cluster.
+        current.rankedCandidates(probe);
+    }
+
+    auto [id1, est1] = w.make(w.factory.hadoopJob("decide", 45.0));
+    auto want = rescan.allocate(w.registry.get(id1), est1, 45.0,
+                                nullptr, false);
+    expectSameAllocation(laggard.allocate(w.registry.get(id1), est1,
+                                          45.0, nullptr, false),
+                         want, "laggard after compaction");
+    expectSameAllocation(current.allocate(w.registry.get(id1), est1,
+                                          45.0, nullptr, false),
+                         want, "current reader after compaction");
 }

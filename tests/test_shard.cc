@@ -1,0 +1,695 @@
+/**
+ * @file
+ * The sharded parallel decision path (src/shard/, DESIGN.md §14):
+ * partitioner purity/stability edges (more shards than servers, empty
+ * shards after a fault storm, re-priming mid-stream), the replay
+ * contract — K=1 reproduces the unsharded scheduler's placements and
+ * decision hash bit-exactly, DeterministicMerge reproduces them at
+ * ANY K, and a fixed (K, seed) yields identical hashes across runs
+ * and across the workers' dirty_set/cached index modes (20-seed
+ * sweep) — the Omega-style Optimistic commit protocol (determinism,
+ * induced conflicts, bounded retry, retry-budget exhaustion), and the
+ * WorkerPool barrier with real threads (the TSan suite runs these
+ * same tests under -fsanitize=thread).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/classifier.hh"
+#include "core/scheduler.hh"
+#include "profiling/profiler.hh"
+#include "shard/shard.hh"
+#include "shard/sharded_scheduler.hh"
+#include "shard/worker_pool.hh"
+#include "sim/cluster.hh"
+#include "workload/factory.hh"
+
+using namespace quasar;
+using core::Allocation;
+using core::GreedyScheduler;
+using core::SchedulerConfig;
+using core::WorkloadEstimate;
+using shard::CommitMode;
+using shard::Partitioner;
+using shard::ShardConfig;
+using shard::ShardedScheduler;
+using workload::Workload;
+
+namespace
+{
+
+void
+expectSameAllocation(const std::optional<Allocation> &a,
+                     const std::optional<Allocation> &b,
+                     const std::string &ctx)
+{
+    ASSERT_EQ(a.has_value(), b.has_value()) << ctx;
+    if (!a)
+        return;
+    EXPECT_EQ(a->degraded, b->degraded) << ctx;
+    // Bitwise, not near: the replay contract is exact reproduction.
+    EXPECT_EQ(a->predicted_perf, b->predicted_perf) << ctx;
+    ASSERT_EQ(a->nodes.size(), b->nodes.size()) << ctx;
+    for (size_t i = 0; i < a->nodes.size(); ++i) {
+        EXPECT_EQ(a->nodes[i].server, b->nodes[i].server) << ctx;
+        EXPECT_EQ(a->nodes[i].scale_up_col, b->nodes[i].scale_up_col)
+            << ctx;
+        EXPECT_EQ(a->nodes[i].cores, b->nodes[i].cores) << ctx;
+        EXPECT_EQ(a->nodes[i].socket, b->nodes[i].socket) << ctx;
+    }
+    ASSERT_EQ(a->evictions.size(), b->evictions.size()) << ctx;
+    for (size_t i = 0; i < a->evictions.size(); ++i)
+        EXPECT_EQ(a->evictions[i], b->evictions[i]) << ctx;
+}
+
+/** Classifier world (the journal/ranking test idiom), seeded so two
+ *  instances built with the same seed evolve identically. */
+struct ShardWorld
+{
+    sim::Cluster cluster;
+    workload::WorkloadRegistry registry;
+    profiling::Profiler profiler;
+    core::Classifier clf;
+    workload::WorkloadFactory factory;
+    stats::Rng rng;
+
+    explicit ShardWorld(uint64_t seed = 31,
+                        sim::Cluster c = sim::Cluster::localCluster())
+        : cluster(std::move(c)), profiler{cluster.catalog(), {}},
+          clf{profiler, {}, 3}, factory{stats::Rng(seed)}, rng{seed + 1}
+    {
+        std::vector<Workload> seeds;
+        for (int i = 0; i < 5; ++i)
+            seeds.push_back(factory.hadoopJob(
+                "seed", factory.rng().uniform(5.0, 150.0)));
+        static const char *fams[] = {"spec-int", "parsec", "specjbb",
+                                     "mix"};
+        for (int i = 0; i < 6; ++i)
+            seeds.push_back(factory.singleNodeJob("seed", fams[i % 4]));
+        clf.seedOffline(seeds, 0.0);
+    }
+
+    std::pair<WorkloadId, WorkloadEstimate> make(Workload w)
+    {
+        WorkloadId id = registry.add(std::move(w));
+        auto data = profiler.profile(registry.get(id), 0.0, rng);
+        return {id, clf.classify(registry.get(id), data)};
+    }
+
+    void apply(WorkloadId id, const Allocation &alloc)
+    {
+        Workload &w = registry.get(id);
+        for (const auto &[sid, victim] : alloc.evictions)
+            cluster.server(sid).remove(victim);
+        for (const auto &node : alloc.nodes) {
+            sim::TaskShare share;
+            share.workload = id;
+            share.cores = node.cores;
+            share.memory_gb = node.memory_gb;
+            share.storage_gb = w.storage_gb_per_node;
+            share.caused = w.causedPressure(0.0, node.cores);
+            share.best_effort = w.best_effort;
+            cluster.server(node.server).place(share);
+        }
+    }
+};
+
+/** One pre-generated mutation-stream step, replayable against any
+ *  number of twin worlds so their histories stay identical as long as
+ *  their decisions do. */
+struct StreamOp
+{
+    int kind = 0;       ///< 0-1 arrival, 2 degrade, 3 down/up, 4 spike
+    double target = 0.0;///< arrival perf target
+    int priority = 0;   ///< arrival priority (pre-registration)
+    bool may_evict = false;
+    size_t srv = 0;     ///< server operand for kinds 2-4
+    double level = 0.0; ///< degrade fraction
+    bool clear = false; ///< kind 4: also clear the spike
+};
+
+std::vector<StreamOp>
+makeStream(uint64_t seed, size_t cluster_size, int steps)
+{
+    stats::Rng rng(seed);
+    std::vector<StreamOp> ops;
+    ops.reserve(size_t(steps));
+    for (int i = 0; i < steps; ++i) {
+        StreamOp op;
+        op.kind = int(rng.uniformInt(0, 4));
+        op.target = rng.uniform(10.0, 80.0);
+        op.priority = int(rng.uniformInt(0, 3));
+        op.may_evict = rng.uniformInt(0, 1) == 1;
+        op.srv = size_t(rng.uniformInt(0, int64_t(cluster_size) - 1));
+        op.level = rng.uniform(0.1, 0.9);
+        op.clear = rng.uniformInt(0, 1) == 0;
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+/** Apply one step to a world; arrivals are decided by `alloc` and
+ *  committed. Returns the arrival's decision (nullopt for non-
+ *  arrival steps) so twin runs can be compared step for step. */
+template <typename AllocFn>
+std::optional<Allocation>
+stepWorld(ShardWorld &w, const StreamOp &op, AllocFn &&alloc)
+{
+    switch (op.kind) {
+    case 0:
+    case 1: {
+        Workload job = w.factory.hadoopJob("job", op.target);
+        job.priority = op.priority;
+        auto [id, est] = w.make(std::move(job));
+        auto a = alloc(w.registry.get(id), est, op.target, op.may_evict);
+        if (a)
+            w.apply(id, *a);
+        return a;
+    }
+    case 2:
+        w.cluster.server(ServerId(op.srv)).degrade(op.level);
+        return std::nullopt;
+    case 3: {
+        sim::Server &s = w.cluster.server(ServerId(op.srv));
+        if (s.available())
+            s.markDown();
+        else
+            s.recover();
+        return std::nullopt;
+    }
+    default: {
+        interference::IVector poke = interference::zeroVector();
+        poke[2] = 0.4;
+        w.cluster.server(ServerId(op.srv)).injectPressure(poke);
+        if (op.clear)
+            w.cluster.server(ServerId(op.srv)).clearInjectedPressure();
+        return std::nullopt;
+    }
+    }
+}
+
+/** Drive a whole stream through a sharded world, returning the final
+ *  decision hash (and optionally every decision). */
+uint64_t
+runShardedStream(uint64_t world_seed, const std::vector<StreamOp> &ops,
+                 ShardConfig cfg,
+                 std::vector<std::optional<Allocation>> *out = nullptr)
+{
+    ShardWorld w(world_seed);
+    ShardedScheduler sharded(w.cluster, SchedulerConfig{}, cfg,
+                             &w.registry);
+    for (const StreamOp &op : ops) {
+        auto a = stepWorld(w, op,
+                           [&](const Workload &job,
+                               const WorkloadEstimate &est,
+                               double target, bool may_evict) {
+                               return sharded.allocate(job, est, target,
+                                                       nullptr,
+                                                       may_evict);
+                           });
+        if (out)
+            out->push_back(std::move(a));
+    }
+    return sharded.decisionHash();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Partitioner edges
+// ---------------------------------------------------------------------
+
+TEST(Shard, PartitionerIsPureStableAndGrowOnly)
+{
+    Partitioner p(4, 0xFEED);
+    EXPECT_TRUE(p.sync(40));
+    EXPECT_FALSE(p.sync(40)) << "same size must not rebuild";
+    std::vector<uint32_t> before = p.table();
+
+    // Catalog growth: existing servers keep their shard bit for bit
+    // (the hash is a pure function of (id, seed, K)).
+    EXPECT_TRUE(p.sync(100));
+    for (size_t i = 0; i < before.size(); ++i)
+        EXPECT_EQ(p.table()[i], before[i]) << "server " << i
+                                           << " moved on growth";
+    for (size_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(p.shardOf(ServerId(i)),
+                  Partitioner::shardHash(ServerId(i), 0xFEED, 4));
+        EXPECT_LT(p.table()[i], 4u);
+    }
+
+    // A different seed is a different partition (overwhelmingly).
+    Partitioner q(4, 0xBEEF);
+    q.sync(100);
+    EXPECT_NE(q.table(), p.table());
+
+    // Every shard id is in range and the counts conserve servers.
+    std::vector<size_t> counts = p.memberCounts();
+    size_t total = 0;
+    for (size_t c : counts)
+        total += c;
+    EXPECT_EQ(total, 100u);
+}
+
+TEST(Shard, MoreShardsThanServersLeavesShardsEmptyButIdentical)
+{
+    // K = 64 over 40 servers: some shards are necessarily empty, and
+    // the merge must shrug — placements stay bit-identical to the
+    // unsharded scheduler.
+    std::vector<StreamOp> ops = makeStream(7, 40, 24);
+
+    ShardWorld plain(41);
+    GreedyScheduler unsharded(plain.cluster, SchedulerConfig{},
+                              &plain.registry);
+
+    ShardWorld sharded_world(41);
+    ShardConfig cfg;
+    cfg.shards = 64;
+    ShardedScheduler sharded(sharded_world.cluster, SchedulerConfig{},
+                             cfg, &sharded_world.registry);
+
+    std::vector<size_t> counts = sharded.partitioner().memberCounts();
+    EXPECT_TRUE(std::find(counts.begin(), counts.end(), 0u) !=
+                counts.end())
+        << "64 shards over 40 servers should leave empty shards";
+
+    for (size_t i = 0; i < ops.size(); ++i) {
+        auto a = stepWorld(plain, ops[i],
+                           [&](const Workload &job,
+                               const WorkloadEstimate &est,
+                               double target, bool may_evict) {
+                               return unsharded.allocate(
+                                   job, est, target, nullptr, may_evict);
+                           });
+        auto b = stepWorld(sharded_world, ops[i],
+                           [&](const Workload &job,
+                               const WorkloadEstimate &est,
+                               double target, bool may_evict) {
+                               return sharded.allocate(
+                                   job, est, target, nullptr, may_evict);
+                           });
+        expectSameAllocation(a, b, "step " + std::to_string(i));
+        if (::testing::Test::HasFailure())
+            return;
+    }
+}
+
+TEST(Shard, EmptyShardsAfterFaultStormStayBitIdentical)
+{
+    // Knock out every member of two shards (a rack/PDU-shaped storm
+    // aligned with the partition), then keep scheduling: the dead
+    // shards contribute nothing and the merge still reproduces the
+    // unsharded placements.
+    ShardConfig cfg;
+    cfg.shards = 8;
+
+    ShardWorld plain(43);
+    GreedyScheduler unsharded(plain.cluster, SchedulerConfig{},
+                              &plain.registry);
+    ShardWorld sharded_world(43);
+    ShardedScheduler sharded(sharded_world.cluster, SchedulerConfig{},
+                             cfg, &sharded_world.registry);
+
+    // One decision first so the partition table exists and workers
+    // are primed before the storm.
+    std::vector<StreamOp> warm = makeStream(8, 40, 4);
+    for (const StreamOp &op : warm) {
+        auto a = stepWorld(plain, op,
+                           [&](const Workload &job,
+                               const WorkloadEstimate &est,
+                               double target, bool may_evict) {
+                               return unsharded.allocate(
+                                   job, est, target, nullptr, may_evict);
+                           });
+        auto b = stepWorld(sharded_world, op,
+                           [&](const Workload &job,
+                               const WorkloadEstimate &est,
+                               double target, bool may_evict) {
+                               return sharded.allocate(
+                                   job, est, target, nullptr, may_evict);
+                           });
+        expectSameAllocation(a, b, "warm step");
+    }
+
+    const Partitioner &part = sharded.partitioner();
+    size_t downed = 0;
+    for (size_t i = 0; i < 40; ++i) {
+        uint32_t k = part.shardOf(ServerId(i));
+        if (k == 2 || k == 5) {
+            if (plain.cluster.server(ServerId(i)).available())
+                plain.cluster.server(ServerId(i)).markDown();
+            if (sharded_world.cluster.server(ServerId(i)).available())
+                sharded_world.cluster.server(ServerId(i)).markDown();
+            ++downed;
+        }
+    }
+    ASSERT_GT(downed, 0u) << "shards 2 and 5 had no members at all";
+
+    std::vector<StreamOp> ops = makeStream(9, 40, 20);
+    for (size_t i = 0; i < ops.size(); ++i) {
+        if (ops[i].kind == 3)
+            continue; // keep the storm's shards dead for the test
+        auto a = stepWorld(plain, ops[i],
+                           [&](const Workload &job,
+                               const WorkloadEstimate &est,
+                               double target, bool may_evict) {
+                               return unsharded.allocate(
+                                   job, est, target, nullptr, may_evict);
+                           });
+        auto b = stepWorld(sharded_world, ops[i],
+                           [&](const Workload &job,
+                               const WorkloadEstimate &est,
+                               double target, bool may_evict) {
+                               return sharded.allocate(
+                                   job, est, target, nullptr, may_evict);
+                           });
+        expectSameAllocation(a, b, "post-storm step " +
+                                       std::to_string(i));
+        if (::testing::Test::HasFailure())
+            return;
+    }
+}
+
+TEST(Shard, RePrimedSchedulerMidStreamKeepsHashIdentity)
+{
+    // A ShardedScheduler born mid-stream (fresh journal cursors, full
+    // re-prime against a cluster with history — the catalog-change /
+    // restart case) must continue the stream with placements
+    // bit-identical to the unsharded referee's.
+    std::vector<StreamOp> ops = makeStream(10, 40, 30);
+
+    ShardWorld plain(47);
+    GreedyScheduler unsharded(plain.cluster, SchedulerConfig{},
+                              &plain.registry);
+    ShardWorld sharded_world(47);
+    ShardConfig cfg;
+    cfg.shards = 4;
+    auto first = std::make_unique<ShardedScheduler>(
+        sharded_world.cluster, SchedulerConfig{}, cfg,
+        &sharded_world.registry);
+
+    std::unique_ptr<ShardedScheduler> current = std::move(first);
+    for (size_t i = 0; i < ops.size(); ++i) {
+        if (i == ops.size() / 2) {
+            // Mid-stream re-prime: throw the primed instance away.
+            current = std::make_unique<ShardedScheduler>(
+                sharded_world.cluster, SchedulerConfig{}, cfg,
+                &sharded_world.registry);
+        }
+        auto a = stepWorld(plain, ops[i],
+                           [&](const Workload &job,
+                               const WorkloadEstimate &est,
+                               double target, bool may_evict) {
+                               return unsharded.allocate(
+                                   job, est, target, nullptr, may_evict);
+                           });
+        auto b = stepWorld(sharded_world, ops[i],
+                           [&](const Workload &job,
+                               const WorkloadEstimate &est,
+                               double target, bool may_evict) {
+                               return current->allocate(
+                                   job, est, target, nullptr, may_evict);
+                           });
+        expectSameAllocation(a, b, "step " + std::to_string(i));
+        if (::testing::Test::HasFailure())
+            return;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Replay contract: merge identity and the (K, seed) hash sweep
+// ---------------------------------------------------------------------
+
+TEST(Shard, MergeCommitMatchesUnshardedAtAnyK)
+{
+    std::vector<StreamOp> ops = makeStream(5, 40, 30);
+    for (uint32_t K : {1u, 2u, 3u, 4u, 7u}) {
+        ShardWorld plain(37);
+        GreedyScheduler unsharded(plain.cluster, SchedulerConfig{},
+                                  &plain.registry);
+        ShardWorld sharded_world(37);
+        ShardConfig cfg;
+        cfg.shards = K;
+        ShardedScheduler sharded(sharded_world.cluster,
+                                 SchedulerConfig{}, cfg,
+                                 &sharded_world.registry);
+        for (size_t i = 0; i < ops.size(); ++i) {
+            auto a = stepWorld(
+                plain, ops[i],
+                [&](const Workload &job, const WorkloadEstimate &est,
+                    double target, bool may_evict) {
+                    return unsharded.allocate(job, est, target, nullptr,
+                                              may_evict);
+                });
+            auto b = stepWorld(
+                sharded_world, ops[i],
+                [&](const Workload &job, const WorkloadEstimate &est,
+                    double target, bool may_evict) {
+                    return sharded.allocate(job, est, target, nullptr,
+                                            may_evict);
+                });
+            expectSameAllocation(a, b,
+                                 "K=" + std::to_string(K) + " step " +
+                                     std::to_string(i));
+            if (::testing::Test::HasFailure())
+                return;
+        }
+        EXPECT_GT(sharded.stats().merge_commits, 0u);
+        EXPECT_EQ(sharded.stats().optimistic_commits, 0u);
+    }
+}
+
+TEST(Shard, KOneReproducesUnshardedDecisionHash)
+{
+    std::vector<StreamOp> ops = makeStream(6, 40, 24);
+    for (CommitMode mode :
+         {CommitMode::DeterministicMerge, CommitMode::Optimistic}) {
+        // The referee: the unsharded scheduler's decisions, folded
+        // with shard id 0 — the decision-hash definition unsharded
+        // runs use.
+        ShardWorld plain(53);
+        GreedyScheduler unsharded(plain.cluster, SchedulerConfig{},
+                                  &plain.registry);
+        uint64_t expected = shard::kDecisionHashBasis;
+        WorkloadId last_wid = kInvalidWorkload;
+        for (const StreamOp &op : ops) {
+            auto a = stepWorld(
+                plain, op,
+                [&](const Workload &job, const WorkloadEstimate &est,
+                    double target, bool may_evict) {
+                    last_wid = job.id;
+                    return unsharded.allocate(job, est, target, nullptr,
+                                              may_evict);
+                });
+            if (a)
+                for (const auto &n : a->nodes)
+                    expected = shard::foldDecision(expected, last_wid,
+                                                   n.socket, 0);
+        }
+
+        ShardConfig cfg;
+        cfg.shards = 1;
+        cfg.commit = mode;
+        std::vector<std::optional<Allocation>> got;
+        uint64_t hash = runShardedStream(53, ops, cfg, &got);
+        EXPECT_EQ(hash, expected)
+            << "K=1 decision hash diverged in mode "
+            << int(mode);
+    }
+}
+
+TEST(Shard, ReplayContractTwentySeedSweep)
+{
+    // 20 (K, seed) points; at each, the decision hash must be
+    // identical across (a) a re-run, and (b) the workers'
+    // dirty_set/cached index modes.
+    std::vector<StreamOp> ops = makeStream(12, 40, 12);
+    for (int s = 0; s < 20; ++s) {
+        ShardConfig cfg;
+        cfg.shards = 1 + uint32_t(s % 5);
+        cfg.seed = 0x1234 + uint64_t(s) * 0x9E3779B9;
+        cfg.dirty_set = true;
+
+        uint64_t h_dirty = runShardedStream(61, ops, cfg);
+        uint64_t h_again = runShardedStream(61, ops, cfg);
+        EXPECT_EQ(h_dirty, h_again)
+            << "hash not reproducible across runs at sweep point " << s;
+
+        ShardConfig cached = cfg;
+        cached.dirty_set = false;
+        uint64_t h_cached = runShardedStream(61, ops, cached);
+        EXPECT_EQ(h_dirty, h_cached)
+            << "dirty/cached worker modes diverged at sweep point "
+            << s;
+        if (::testing::Test::HasFailure())
+            return;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Optimistic (Omega-style) commit protocol
+// ---------------------------------------------------------------------
+
+TEST(Shard, OptimisticIsDeterministicForFixedKSeed)
+{
+    std::vector<StreamOp> ops = makeStream(14, 40, 20);
+    ShardConfig cfg;
+    cfg.shards = 4;
+    cfg.commit = CommitMode::Optimistic;
+
+    std::vector<std::optional<Allocation>> run1, run2;
+    uint64_t h1 = runShardedStream(67, ops, cfg, &run1);
+    uint64_t h2 = runShardedStream(67, ops, cfg, &run2);
+    EXPECT_EQ(h1, h2);
+    ASSERT_EQ(run1.size(), run2.size());
+    for (size_t i = 0; i < run1.size(); ++i)
+        expectSameAllocation(run1[i], run2[i],
+                             "optimistic step " + std::to_string(i));
+}
+
+TEST(Shard, OptimisticConflictRetriesThenCommits)
+{
+    ShardWorld w(71);
+    ShardConfig cfg;
+    cfg.shards = 4;
+    cfg.commit = CommitMode::Optimistic;
+    ShardedScheduler sharded(w.cluster, SchedulerConfig{}, cfg,
+                             &w.registry);
+
+    // First attempt's validation must fail: the hook (which runs
+    // between proposal argmax and validation) bumps every server's
+    // change epoch once. The retry re-replays the journal, proposes
+    // against fresh state, and commits.
+    int fired = 0;
+    sharded.setCommitHookForTest([&] {
+        if (fired++ > 0)
+            return;
+        interference::IVector poke = interference::zeroVector();
+        poke[1] = 0.1;
+        for (size_t s = 0; s < w.cluster.size(); ++s) {
+            w.cluster.server(ServerId(s)).injectPressure(poke);
+            w.cluster.server(ServerId(s)).clearInjectedPressure();
+        }
+    });
+
+    auto [id, est] = w.make(w.factory.hadoopJob("vip", 50.0));
+    auto a = sharded.allocate(w.registry.get(id), est, 50.0, nullptr,
+                              false);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(sharded.stats().commit_conflicts, 1u);
+    EXPECT_EQ(sharded.stats().commit_retries, 1u);
+    EXPECT_EQ(sharded.stats().optimistic_commits, 1u);
+    EXPECT_GE(fired, 2);
+}
+
+TEST(Shard, OptimisticRetryBudgetExhaustionAborts)
+{
+    ShardWorld w(73);
+    ShardConfig cfg;
+    cfg.shards = 4;
+    cfg.commit = CommitMode::Optimistic;
+    cfg.max_commit_retries = 1;
+    ShardedScheduler sharded(w.cluster, SchedulerConfig{}, cfg,
+                             &w.registry);
+
+    // Every round conflicts: the transaction must abort after the
+    // bounded retries, not spin.
+    sharded.setCommitHookForTest([&] {
+        interference::IVector poke = interference::zeroVector();
+        poke[1] = 0.1;
+        for (size_t s = 0; s < w.cluster.size(); ++s) {
+            w.cluster.server(ServerId(s)).injectPressure(poke);
+            w.cluster.server(ServerId(s)).clearInjectedPressure();
+        }
+    });
+
+    auto [id, est] = w.make(w.factory.hadoopJob("doomed", 50.0));
+    auto a = sharded.allocate(w.registry.get(id), est, 50.0, nullptr,
+                              false);
+    EXPECT_FALSE(a.has_value());
+    EXPECT_EQ(sharded.stats().commit_conflicts, 2u); // initial + retry
+    EXPECT_EQ(sharded.stats().commit_retries, 1u);
+    EXPECT_EQ(sharded.stats().optimistic_commits, 0u);
+}
+
+// ---------------------------------------------------------------------
+// WorkerPool and real-thread equivalence (the TSan targets)
+// ---------------------------------------------------------------------
+
+TEST(Shard, WorkerPoolRunsEveryTaskExactlyOnceWithRealThreads)
+{
+    shard::WorkerPool pool(3);
+    EXPECT_EQ(pool.threads(), 3u);
+
+    // Several batches through the same pool: each task marks its own
+    // slot (disjoint writes — the sharded refresh pattern) and bumps
+    // a shared atomic; the barrier means both are complete on return.
+    for (int batch = 0; batch < 5; ++batch) {
+        std::atomic<int> ran{0};
+        std::vector<int> slot(16, 0);
+        std::vector<std::function<void()>> tasks;
+        for (size_t i = 0; i < slot.size(); ++i)
+            tasks.push_back([&, i] {
+                slot[i] += 1;
+                ran.fetch_add(1, std::memory_order_relaxed);
+            });
+        pool.runBatch(tasks);
+        EXPECT_EQ(ran.load(), 16) << "batch " << batch;
+        for (size_t i = 0; i < slot.size(); ++i)
+            EXPECT_EQ(slot[i], 1)
+                << "task " << i << " ran a wrong number of times";
+    }
+}
+
+TEST(Shard, WorkerPoolInlineModeRunsInIndexOrder)
+{
+    for (unsigned threads : {0u, 1u}) {
+        shard::WorkerPool pool(threads);
+        EXPECT_EQ(pool.threads(), 0u) << "≤1 must mean inline";
+        std::vector<size_t> order;
+        std::vector<std::function<void()>> tasks;
+        for (size_t i = 0; i < 8; ++i)
+            tasks.push_back([&, i] { order.push_back(i); });
+        pool.runBatch(tasks);
+        ASSERT_EQ(order.size(), 8u);
+        for (size_t i = 0; i < order.size(); ++i)
+            EXPECT_EQ(order[i], i);
+    }
+}
+
+TEST(Shard, ThreadedMergeMatchesInlineExecution)
+{
+    // The replay contract is thread-count independent: the same
+    // stream through a threads=3 instance and a threads=1 (inline)
+    // instance must produce identical placements and hashes. (In
+    // verification builds both serialize; under TSan this is the test
+    // that actually races the per-shard phase.)
+    std::vector<StreamOp> ops = makeStream(16, 40, 20);
+    ShardConfig inline_cfg;
+    inline_cfg.shards = 4;
+    inline_cfg.threads = 1;
+    ShardConfig threaded_cfg = inline_cfg;
+    threaded_cfg.threads = 3;
+
+    for (CommitMode mode :
+         {CommitMode::DeterministicMerge, CommitMode::Optimistic}) {
+        inline_cfg.commit = mode;
+        threaded_cfg.commit = mode;
+        std::vector<std::optional<Allocation>> a, b;
+        uint64_t ha = runShardedStream(79, ops, inline_cfg, &a);
+        uint64_t hb = runShardedStream(79, ops, threaded_cfg, &b);
+        EXPECT_EQ(ha, hb) << "mode " << int(mode);
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); ++i)
+            expectSameAllocation(a[i], b[i],
+                                 "mode " + std::to_string(int(mode)) +
+                                     " step " + std::to_string(i));
+    }
+}

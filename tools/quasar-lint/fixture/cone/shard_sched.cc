@@ -1,0 +1,12 @@
+// Fixture sharded decision path: ShardedScheduler::allocate is a cone
+// entry point of its own, so per-shard worker helpers — here the
+// merge tie-break — are decision-purity-scoped even though nothing in
+// the classic GreedyScheduler fixture calls them.
+
+#include "cone/helpers.hh"
+
+class ShardedScheduler
+{
+  public:
+    void allocate() { shardMergeHelper(); }
+};

@@ -49,6 +49,17 @@ class Server
         bumpVersion();
     }
 
+    // The cross-shard hazard: a shard worker reaching around the
+    // journal to move another shard's resident. Every per-shard
+    // cursor replays the journal to stay coherent, so an unjournaled
+    // write desyncs K readers at once — same rule, named for the
+    // failure it now guards against.
+    void crossShardSteal(int v)
+    {
+        tasks_.push_back(v); // expect(mutation-journaling)
+        state_ = v;
+    }
+
     void bumpVersion() { ++version_; }
 
   private:
